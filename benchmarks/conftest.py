@@ -1,0 +1,66 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation. The computed rows/series are printed to stdout AND written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set REPRO_FULL=1 to run the full-scale (slow) variants, e.g. the
+#: 2000-switch Jellyfish row of Table 5.
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Returns a writer: report(name, text) prints and persists a result."""
+
+    def write(name: str, text: str) -> None:
+        print(f"\n===== {name} =====")
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table with right-padded columns."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_series(label_pairs, series_map, t_step=0.01) -> str:
+    """Rate-vs-time series as aligned text columns (paper figure data)."""
+    lines = ["time_s  " + "  ".join(f"{label}_Mbps" for label, _ in label_pairs)]
+    length = max(len(series_map[label]) for label, _ in label_pairs)
+    for i in range(length):
+        row = [f"{i * t_step:6.3f}"]
+        for label, _ in label_pairs:
+            series = series_map[label]
+            value = series[i] if i < len(series) else 0.0
+            row.append(f"{value / 1e6:10.1f}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Routing storm: watch transient tables create hazards — and survive them.
+
+Paper §3.1 argues that distributed routing *inherently* produces transient
+loops and up-down violations; Tagger's job is to make those harmless.
+This example runs the asynchronous distance-vector model against the
+testbed Clos, prints the transient timeline for a Fig. 3-style failure
+(complete with the micro-loops and bounce paths it creates), then streams
+the same timeline into a live simulation carrying RDMA traffic protected
+by Tagger — and shows nothing deadlocks or drops.
+
+Run:  python examples/routing_storm.py
+"""
+
+from repro import Flow, SimNetwork, TaggerPlan, testbed_clos
+from repro.routing import (
+    ConvergenceProcess,
+    count_bounces,
+    find_forwarding_loops,
+    transient_states,
+)
+from repro.simulator import is_deadlocked
+
+
+def inspect_transients() -> None:
+    topo = testbed_clos()
+    proc = ConvergenceProcess(
+        topo, destinations=["H1"], detect_delay=1e-3, adv_delay=1e-3
+    )
+    base = proc.current_table()
+    print("failing L1-T1 (the Fig. 3 scenario)...")
+    timeline = proc.fail_link("L1", "T1")
+    print(f"protocol quiesced after {timeline[-1].time * 1000:.0f} ms, "
+          f"{len(timeline)} route changes\n")
+    for when, snapshot in transient_states(topo, timeline, base):
+        loops = set()
+        bounces = []
+        for flow_hash in range(16):
+            if find_forwarding_loops(
+                topo, snapshot, destinations=["H1"], flow_hash=flow_hash
+            ):
+                loops.add(flow_hash)
+            path, done = snapshot.trace("T3", "H1", flow_hash=flow_hash)
+            if done and len(set(path)) == len(path):
+                if count_bounces(topo, path[:-1]) > 0:
+                    bounces.append(" -> ".join(path))
+        print(f"t={when * 1000:.0f}ms: "
+              f"{len(loops)}/16 flow hashes micro-loop; "
+              f"bounce paths: {len(set(bounces))}")
+        for example in sorted(set(bounces))[:1]:
+            print(f"    e.g. {example}")
+
+
+def survive_the_storm() -> None:
+    topo = testbed_clos()
+    proc = ConvergenceProcess(
+        topo,
+        destinations=sorted(topo.hosts),
+        detect_delay=5e-3,
+        adv_delay=5e-3,
+    )
+    plan = TaggerPlan.for_clos(topo, max_bounces=1)
+    net = SimNetwork.with_plan(topo, proc.current_table(), plan)
+    flows = [
+        net.add_flow(Flow(src=src, dst=dst, flow_id=fid))
+        for fid, (src, dst) in enumerate(
+            (("H9", "H1"), ("H1", "H13"), ("H5", "H9"), ("H13", "H5")),
+            start=8200,
+        )
+    ]
+
+    def storm():
+        timeline = proc.fail_link("L1", "T1")
+        proc.attach(net, timeline, offset=net.sim.now)
+        print(f"  t={net.sim.now * 1000:.0f}ms: L1-T1 down; "
+              f"{len(timeline)} updates streaming into the fabric")
+
+    net.at(0.03, storm)
+    print("\ndriving 4 flows through the reconvergence under Tagger...")
+    net.run(0.15)
+    print(f"deadlocked: {is_deadlocked(net)}")
+    print(f"drops: {dict(net.metrics.drops) or 'none'}")
+    for flow in flows:
+        rate = net.metrics.mean_rate(flow.flow_id, 0.1, 0.15)
+        print(f"  {flow.src}->{flow.dst}: {rate / 1e6:.0f} Mbps")
+    assert not is_deadlocked(net)
+    assert net.metrics.drops.get("lossless_overflow", 0) == 0
+
+
+def main() -> None:
+    inspect_transients()
+    survive_the_storm()
+
+
+if __name__ == "__main__":
+    main()

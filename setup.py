@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works in offline
+environments that lack the ``wheel`` package (legacy editable installs via
+``setup.py develop`` need nothing beyond setuptools).
+"""
+
+from setuptools import setup
+
+setup()

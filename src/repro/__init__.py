@@ -1,0 +1,75 @@
+"""Tagger: practical PFC deadlock prevention in data center networks.
+
+A from-scratch Python reproduction of Hu et al., CoNEXT 2017. The
+top-level package exposes the most common entry points; see the
+subpackages for the full API:
+
+- :mod:`repro.core` -- tagging algorithms, rules, verification, planning;
+- :mod:`repro.topology` -- Clos/FatTree/BCube/Jellyfish builders;
+- :mod:`repro.routing` -- up-down/shortest routing, bounces, reroutes;
+- :mod:`repro.simulator` -- the PFC discrete-event fabric simulator;
+- :mod:`repro.analysis` -- CBD detection, optimality bounds;
+- :mod:`repro.measurement` -- IP-in-IP reroute probing;
+- :mod:`repro.workloads` -- shuffles and random traffic.
+
+Quickstart::
+
+    from repro import TaggerPlan, testbed_clos
+
+    topo = testbed_clos()
+    plan = TaggerPlan.for_clos(topo, max_bounces=1)
+    print(plan.summary())          # 2 lossless queues, verified safe
+    print(plan.verify().summary())
+"""
+
+from repro.core import (
+    ClosTagger,
+    ElpSet,
+    TaggerPlan,
+    bruteforce_tagging,
+    deterministic_minimize,
+    greedy_minimize,
+    verify_tagged_graph,
+)
+from repro.exceptions import (
+    CapacityError,
+    ReproError,
+    RoutingError,
+    RuleError,
+    SimulationError,
+    TaggingError,
+    TopologyError,
+    VerificationError,
+)
+from repro.simulator import Flow, SimConfig, SimNetwork
+from repro.topology import Topology, bcube, clos3, fattree, jellyfish, testbed_clos
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TaggerPlan",
+    "ClosTagger",
+    "ElpSet",
+    "bruteforce_tagging",
+    "greedy_minimize",
+    "deterministic_minimize",
+    "verify_tagged_graph",
+    "Topology",
+    "clos3",
+    "testbed_clos",
+    "fattree",
+    "bcube",
+    "jellyfish",
+    "SimNetwork",
+    "SimConfig",
+    "Flow",
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "TaggingError",
+    "VerificationError",
+    "RuleError",
+    "SimulationError",
+    "CapacityError",
+    "__version__",
+]

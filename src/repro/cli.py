@@ -1,0 +1,256 @@
+"""Command-line interface: plan, export, verify and demo Tagger deployments.
+
+Usage (also available as ``python -m repro``)::
+
+    # Plan a Clos fabric with a 1-bounce budget; dump rules as JSON.
+    repro-tagger plan --topology clos --pods 2 --bounces 1 --out plan.json
+
+    # Plan an unstructured fabric from traced shortest paths.
+    repro-tagger plan --topology jellyfish --switches 50 --ports 12
+
+    # Re-verify a previously exported plan (Theorem 5.1 on the rules).
+    repro-tagger verify plan.json
+
+    # Run the Fig. 10 deadlock demo in the simulator.
+    repro-tagger demo fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core import (
+    TaggerPlan,
+    assert_deadlock_free,
+    jellyfish_elp,
+    rules_to_tagged_graph,
+)
+from repro.core.rules import RuleTable
+from repro.exceptions import ReproError
+from repro.topology import ClosParams, Topology, clos3, jellyfish
+
+
+# ----------------------------------------------------------------------
+# Topology construction from CLI args
+# ----------------------------------------------------------------------
+def build_topology(args: argparse.Namespace) -> Topology:
+    if args.topology == "clos":
+        return clos3(
+            ClosParams(
+                num_pods=args.pods,
+                tors_per_pod=args.tors,
+                leaves_per_pod=args.leaves,
+                num_spines=args.spines,
+                hosts_per_tor=args.hosts,
+            )
+        )
+    if args.topology == "jellyfish":
+        return jellyfish(
+            num_switches=args.switches,
+            ports_per_switch=args.ports,
+            hosts_per_switch=0,
+            seed=args.seed,
+        )
+    raise ReproError(f"unknown topology {args.topology!r}")
+
+
+def build_plan(args: argparse.Namespace, topo: Topology) -> TaggerPlan:
+    if args.topology == "clos":
+        return TaggerPlan.for_clos(topo, max_bounces=args.bounces)
+    elp = jellyfish_elp(topo, extra_random_paths=args.extra_paths, seed=args.seed)
+    return TaggerPlan.from_elp(topo, elp)
+
+
+# ----------------------------------------------------------------------
+# Plan export / import
+# ----------------------------------------------------------------------
+def plan_to_dict(args: argparse.Namespace, plan: TaggerPlan) -> Dict[str, Any]:
+    return {
+        "generator": {
+            key: getattr(args, key)
+            for key in (
+                "topology",
+                "pods",
+                "tors",
+                "leaves",
+                "spines",
+                "hosts",
+                "bounces",
+                "switches",
+                "ports",
+                "extra_paths",
+                "seed",
+            )
+            if hasattr(args, key)
+        },
+        "description": plan.description,
+        "num_lossless_queues": plan.num_lossless_queues,
+        "rules": {
+            switch: sorted(
+                [tag, in_port, out_port, new_tag]
+                for (tag, in_port, out_port), new_tag in table.rules.items()
+            )
+            for switch, table in plan.tables.items()
+        },
+    }
+
+
+def dict_to_tables(blob: Dict[str, Any]) -> Dict[str, RuleTable]:
+    tables: Dict[str, RuleTable] = {}
+    for switch, rules in blob["rules"].items():
+        table = RuleTable(switch=switch)
+        for tag, in_port, out_port, new_tag in rules:
+            table.rules[(tag, in_port, out_port)] = new_tag
+        tables[switch] = table
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_plan(args: argparse.Namespace) -> int:
+    topo = build_topology(args)
+    plan = build_plan(args, topo)
+    report = plan.verify()
+    print(f"fabric: {topo}")
+    print(plan.summary())
+    print(f"verification: {report.summary()}")
+    if args.out:
+        blob = plan_to_dict(args, plan)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
+        print(f"exported rules for {len(blob['rules'])} switches to {args.out}")
+    if not report.deadlock_free:
+        print("ERROR: plan failed verification", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    with open(args.plan_file, "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    generator = argparse.Namespace(**blob["generator"])
+    topo = build_topology(generator)
+    tables = dict_to_tables(blob)
+    try:
+        # Tag-decreasing rules are rejected while rebuilding the graph;
+        # per-tag cycles by the verification proper.
+        graph = rules_to_tagged_graph(topo, tables)
+        report = assert_deadlock_free(graph)
+    except ReproError as exc:
+        print(f"UNSAFE: {exc}", file=sys.stderr)
+        return 1
+    print(f"fabric: {topo}")
+    print(f"verification: {report.summary()}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.routing import install_loop, shortest_path_tables
+    from repro.simulator import Flow, SimNetwork, find_deadlock_cycle, pin_path
+    from repro.topology import testbed_clos
+
+    topo = testbed_clos()
+    table = shortest_path_tables(topo)
+    if args.tagger:
+        plan = TaggerPlan.for_clos(topo, max_bounces=1)
+        net = SimNetwork.with_plan(topo, table, plan, metrics_bucket=0.02)
+        print("running WITH Tagger (2 lossless priorities)")
+    else:
+        net = SimNetwork(topo, table, metrics_bucket=0.02)
+        print("running WITHOUT Tagger (plain PFC)")
+
+    if args.scenario == "fig10":
+        green = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+        blue = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+        f1 = net.add_flow(
+            Flow(src="H1", dst="H13", pinned_next_hops=pin_path(blue), flow_id=6001)
+        )
+        f2 = net.add_flow(
+            Flow(
+                src="H9",
+                dst="H2",
+                start=0.01,
+                pinned_next_hops=pin_path(green),
+                flow_id=6002,
+            )
+        )
+        net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+        net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    else:  # fig11
+        f1 = net.add_flow(Flow(src="H1", dst="H5", flow_id=6001))
+        f2 = net.add_flow(
+            Flow(
+                src="H2",
+                dst="H6",
+                pinned_next_hops=pin_path(("H2", "T1", "L1", "T2", "H6")),
+                flow_id=6002,
+            )
+        )
+        net.at(0.02, lambda: install_loop(net.table, "H5", "T1", "L1"))
+
+    net.run(args.duration)
+    print("time(s)  flow1(Mbps)  flow2(Mbps)")
+    s1 = net.metrics.rate_series(f1.flow_id, 0, args.duration)
+    s2 = net.metrics.rate_series(f2.flow_id, 0, args.duration)
+    for (t, r1), (_, r2) in zip(s1, s2):
+        print(f"{t:7.2f}  {r1 / 1e6:11.1f}  {r2 / 1e6:11.1f}")
+    cycle = find_deadlock_cycle(net)
+    if cycle:
+        print(f"DEADLOCK across {sorted({n[0] for n in cycle})}")
+        return 2
+    print("no deadlock")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tagger",
+        description="Plan, verify and demo Tagger PFC-deadlock prevention.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="compute and export a Tagger plan")
+    plan.add_argument("--topology", choices=("clos", "jellyfish"), default="clos")
+    plan.add_argument("--pods", type=int, default=2)
+    plan.add_argument("--tors", type=int, default=2)
+    plan.add_argument("--leaves", type=int, default=2)
+    plan.add_argument("--spines", type=int, default=2)
+    plan.add_argument("--hosts", type=int, default=4)
+    plan.add_argument("--bounces", type=int, default=1)
+    plan.add_argument("--switches", type=int, default=50)
+    plan.add_argument("--ports", type=int, default=12)
+    plan.add_argument("--extra-paths", type=int, default=0, dest="extra_paths")
+    plan.add_argument("--seed", type=int, default=1)
+    plan.add_argument("--out", type=str, default=None)
+    plan.set_defaults(func=cmd_plan)
+
+    verify = sub.add_parser("verify", help="re-verify an exported plan")
+    verify.add_argument("plan_file")
+    verify.set_defaults(func=cmd_verify)
+
+    demo = sub.add_parser("demo", help="run a deadlock scenario")
+    demo.add_argument("scenario", choices=("fig10", "fig11"))
+    demo.add_argument("--tagger", action="store_true")
+    demo.add_argument("--duration", type=float, default=0.3)
+    demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""TCAM rule compression via port-bitmap masking (paper §7, Fig. 9).
+
+Commodity ASICs represent ingress/egress ports in TCAM as *bitmaps*, so a
+single entry can match an arbitrary **set** of ports. Rules that share a
+tag and rewrite action therefore compress:
+
+1. *In-port aggregation*: rules identical except for InPort merge into one
+   entry whose in-port bitmap is the union — per-switch rule count drops
+   from ``O(n^2 m^2)`` to ``O(n m^2)`` (n ports, m tags).
+2. *Joint aggregation*: entries that then share the same in-port set merge
+   their out-ports too. Both steps preserve semantics exactly, because
+   each compressed entry covers a full cartesian product
+   ``in_ports x out_ports`` of original rules.
+
+:func:`expand` inverts the compression (used by the round-trip property
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.rules import MatchActionRule, RuleTable
+from repro.exceptions import RuleError
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One TCAM entry: bitmap match on ports, exact match on tag.
+
+    ``in_ports`` / ``out_ports`` are frozen sets of port numbers (the
+    bitmap abstraction); ``new_tag`` is the rewrite result.
+    """
+
+    tag: int
+    in_ports: FrozenSet[int]
+    out_ports: FrozenSet[int]
+    new_tag: int
+
+    def matches(self, tag: int, in_port: int, out_port: int) -> bool:
+        return (
+            tag == self.tag
+            and in_port in self.in_ports
+            and out_port in self.out_ports
+        )
+
+    @property
+    def covered_rules(self) -> int:
+        return len(self.in_ports) * len(self.out_ports)
+
+    def in_port_bitmap(self, width: int) -> int:
+        """The entry's in-port bitmap as an integer (bit i = port i)."""
+        return _bitmap(self.in_ports, width)
+
+    def out_port_bitmap(self, width: int) -> int:
+        return _bitmap(self.out_ports, width)
+
+
+def _bitmap(ports: Iterable[int], width: int) -> int:
+    value = 0
+    for port in ports:
+        if port >= width:
+            raise RuleError(f"port {port} exceeds bitmap width {width}")
+        value |= 1 << port
+    return value
+
+
+def compress_in_ports(rules: Sequence[MatchActionRule]) -> List[TcamEntry]:
+    """Stage-1 compression: aggregate InPorts per (tag, out_port, new_tag)."""
+    grouped: Dict[Tuple[int, int, int], set] = {}
+    for rule in rules:
+        grouped.setdefault((rule.tag, rule.out_port, rule.new_tag), set()).add(
+            rule.in_port
+        )
+    entries = [
+        TcamEntry(
+            tag=tag,
+            in_ports=frozenset(in_ports),
+            out_ports=frozenset({out_port}),
+            new_tag=new_tag,
+        )
+        for (tag, out_port, new_tag), in_ports in grouped.items()
+    ]
+    return sorted(entries, key=_entry_key)
+
+
+def compress_joint(rules: Sequence[MatchActionRule]) -> List[TcamEntry]:
+    """Stage-2 compression: in-port aggregation, then merge equal in-sets.
+
+    Entries from :func:`compress_in_ports` sharing ``(tag, new_tag,
+    in_ports)`` merge their out-ports; the result still covers an exact
+    cartesian product, so semantics are unchanged.
+    """
+    stage1 = compress_in_ports(rules)
+    grouped: Dict[Tuple[int, int, FrozenSet[int]], set] = {}
+    for entry in stage1:
+        key = (entry.tag, entry.new_tag, entry.in_ports)
+        grouped.setdefault(key, set()).update(entry.out_ports)
+    entries = [
+        TcamEntry(
+            tag=tag,
+            in_ports=in_ports,
+            out_ports=frozenset(out_ports),
+            new_tag=new_tag,
+        )
+        for (tag, new_tag, in_ports), out_ports in grouped.items()
+    ]
+    return sorted(entries, key=_entry_key)
+
+
+def _entry_key(entry: TcamEntry) -> Tuple:
+    return (entry.tag, entry.new_tag, sorted(entry.in_ports), sorted(entry.out_ports))
+
+
+def expand(entries: Sequence[TcamEntry]) -> List[MatchActionRule]:
+    """Invert compression back to exact-match rules (sorted, deduplicated).
+
+    Raises :class:`RuleError` if two entries overlap with different
+    actions — compressed tables produced by this module never do.
+    """
+    seen: Dict[Tuple[int, int, int], int] = {}
+    for entry in entries:
+        for in_port in entry.in_ports:
+            for out_port in entry.out_ports:
+                key = (entry.tag, in_port, out_port)
+                previous = seen.get(key)
+                if previous is not None and previous != entry.new_tag:
+                    raise RuleError(
+                        f"ambiguous TCAM entries for match {key}: "
+                        f"{previous} vs {entry.new_tag}"
+                    )
+                seen[key] = entry.new_tag
+    return sorted(
+        (
+            MatchActionRule(tag, in_port, out_port, new_tag)
+            for (tag, in_port, out_port), new_tag in seen.items()
+        ),
+        key=lambda r: r.key,
+    )
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Rule counts at each compression stage for one switch."""
+
+    switch: str
+    uncompressed: int
+    in_port_aggregated: int
+    joint_aggregated: int
+
+    @property
+    def ratio(self) -> float:
+        if self.uncompressed == 0:
+            return 1.0
+        return self.joint_aggregated / self.uncompressed
+
+
+def compression_stats(table: RuleTable) -> CompressionStats:
+    """Measure all compression stages on one switch's rule table."""
+    rules = table.as_rules()
+    return CompressionStats(
+        switch=table.switch,
+        uncompressed=len(rules),
+        in_port_aggregated=len(compress_in_ports(rules)),
+        joint_aggregated=len(compress_joint(rules)),
+    )

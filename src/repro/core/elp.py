@@ -1,0 +1,143 @@
+"""Expected Lossless Path (ELP) set construction (paper §4.1, §6).
+
+The ELP is the operator's declaration of which paths must be lossless.
+The only hard requirement is loop-freedom; the paper suggests:
+
+- Clos/FatTree: all shortest up-down paths, optionally plus all paths
+  with up to *k* bounces (so transient reroutes stay lossless);
+- Jellyfish/unstructured: shortest paths between all ToR pairs,
+  optionally plus extra random paths for redundancy (Table 5, last row);
+- BCube: the default digit-correcting routes.
+
+An :class:`ElpSet` is a thin validated container so downstream code can
+trust the paths it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import TaggingError
+from repro.routing.base import Path, is_loop_free, validate_path
+from repro.routing.bounce import all_bounce_paths
+from repro.routing.shortest import pairwise_shortest_paths, random_loopfree_paths
+from repro.routing.updown import all_updown_paths
+from repro.topology.base import Topology
+from repro.topology.bcube import bcube_default_route, bcube_servers
+
+
+@dataclass
+class ElpSet:
+    """A validated collection of expected lossless paths."""
+
+    topo: Topology
+    paths: List[Path] = field(default_factory=list)
+    description: str = ""
+
+    def add(self, path: Sequence[str]) -> None:
+        """Validate (exists in topology, loop-free) and append a path."""
+        canonical = validate_path(self.topo, path, allow_failed=True)
+        if not is_loop_free(canonical):
+            raise TaggingError(f"ELP paths must be loop-free: {canonical}")
+        self.paths.append(canonical)
+
+    def extend(self, paths: Iterable[Sequence[str]]) -> None:
+        for path in paths:
+            self.add(path)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def longest_hops(self) -> int:
+        """Longest path length in hops (bounds Algorithm 1's tag count)."""
+        return max((len(p) - 1 for p in self.paths), default=0)
+
+    def dedupe(self) -> None:
+        seen = set()
+        unique: List[Path] = []
+        for path in self.paths:
+            if path not in seen:
+                seen.add(path)
+                unique.append(path)
+        self.paths = unique
+
+
+def clos_updown_elp(topo: Topology, endpoints: Optional[Sequence[str]] = None) -> ElpSet:
+    """ELP = all shortest up-down ToR-to-ToR paths (paper's baseline)."""
+    elp = ElpSet(topo, description="shortest up-down paths")
+    elp.extend(all_updown_paths(topo, endpoints=endpoints))
+    return elp
+
+
+def clos_bounce_elp(
+    topo: Topology,
+    max_bounces: int,
+    endpoints: Optional[Sequence[str]] = None,
+    max_paths_per_pair: Optional[int] = None,
+) -> ElpSet:
+    """ELP = all paths with up to ``max_bounces`` bounces (includes 0).
+
+    This is the set the paper's Clos tagger makes lossless with
+    ``max_bounces + 1`` priorities. Warning: enumeration is exponential;
+    use :class:`repro.core.clos.ClosTagger` for large fabrics.
+    """
+    elp = ElpSet(
+        topo, description=f"up to {max_bounces}-bounce paths"
+    )
+    elp.extend(
+        all_bounce_paths(
+            topo,
+            max_bounces,
+            endpoints=endpoints,
+            max_paths_per_pair=max_paths_per_pair,
+        )
+    )
+    elp.dedupe()
+    return elp
+
+
+def shortest_path_elp(
+    topo: Topology,
+    endpoints: Optional[Sequence[str]] = None,
+    per_pair: int = 1,
+) -> ElpSet:
+    """ELP = shortest paths between endpoint pairs (Jellyfish default)."""
+    if endpoints is None:
+        endpoints = sorted(topo.switches)
+    elp = ElpSet(topo, description="pairwise shortest paths")
+    elp.extend(pairwise_shortest_paths(topo, endpoints, per_pair=per_pair))
+    return elp
+
+
+def jellyfish_elp(
+    topo: Topology,
+    extra_random_paths: int = 0,
+    seed: int = 7,
+) -> ElpSet:
+    """Table 5 ELP: all-pairs shortest paths (+ optional random paths)."""
+    endpoints = sorted(name for name in topo.switches)
+    elp = shortest_path_elp(topo, endpoints=endpoints)
+    if extra_random_paths:
+        elp.description += f" + {extra_random_paths} random paths"
+        elp.extend(
+            random_loopfree_paths(
+                topo, extra_random_paths, endpoints=endpoints, seed=seed
+            )
+        )
+    elp.dedupe()
+    return elp
+
+
+def bcube_elp(topo: Topology, n: int, k: int) -> ElpSet:
+    """ELP = BCube default (digit-correcting) routes between all servers."""
+    elp = ElpSet(topo, description=f"BCube({n},{k}) default routes")
+    servers = bcube_servers(topo)
+    for src in servers:
+        for dst in servers:
+            if src != dst:
+                elp.add(bcube_default_route(topo, n, k, src, dst))
+    return elp

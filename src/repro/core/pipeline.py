@@ -1,0 +1,105 @@
+"""The 3-step switch pipeline (paper §7, Figs 7-8).
+
+A Tagger-enabled switch processes a packet in three match-action steps:
+
+1. **Ingress classification** — match the arriving tag, enqueue in the
+   corresponding ingress priority queue (unknown tags -> lossy queue).
+2. **Tag rewrite** — match ``(tag, InPort, OutPort)``, write the new tag
+   (the safeguard default demotes to lossy).
+3. **Egress classification** — match the *new* tag, enqueue in the
+   corresponding egress priority queue.
+
+Step 3 is the subtle one: by default hardware keeps a packet in the
+egress queue of its *ingress* priority. When the tag (priority) changed
+in step 2, a PAUSE from downstream for the new priority would then fail
+to pause the queue the packet actually occupies, and the packet can be
+dropped (Fig. 8a). Tagger must map the packet to the egress queue of its
+new tag (Fig. 8b). :class:`PipelineConfig.decouple_egress` models both
+behaviours so the simulator can demonstrate the failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.rules import RuleTable
+from repro.core.tags import LOSSY_TAG
+from repro.exceptions import CapacityError
+
+#: Queue index reserved for lossy traffic on every port.
+LOSSY_QUEUE = 0
+
+
+@dataclass(frozen=True)
+class QueueMap:
+    """Tag -> priority-queue assignment for one switch (or the fabric).
+
+    Queue 0 is always the lossy queue; lossless tags map to queues
+    ``1..num_lossless``. The PFC standard caps priorities at 8 and
+    commodity switches realistically support 2-3 lossless queues
+    (paper §3.3); :func:`QueueMap.identity` enforces a configurable cap.
+    """
+
+    mapping: Tuple[Tuple[int, int], ...]  # sorted ((tag, queue), ...)
+
+    @staticmethod
+    def identity(num_tags: int, max_lossless_queues: int = 8) -> "QueueMap":
+        """Tag ``t`` -> queue ``t`` for ``t`` in ``1..num_tags``."""
+        if num_tags > max_lossless_queues:
+            raise CapacityError(
+                f"{num_tags} lossless tags exceed the switch capacity of "
+                f"{max_lossless_queues} lossless queues"
+            )
+        return QueueMap(
+            mapping=tuple((tag, tag) for tag in range(1, num_tags + 1))
+        )
+
+    def queue_for(self, tag: int) -> int:
+        """Queue index for a tag; unknown tags go lossy (safeguard)."""
+        if tag == LOSSY_TAG:
+            return LOSSY_QUEUE
+        for known_tag, queue in self.mapping:
+            if known_tag == tag:
+                return queue
+        return LOSSY_QUEUE
+
+    def is_lossless(self, tag: int) -> bool:
+        return self.queue_for(tag) != LOSSY_QUEUE
+
+    @property
+    def num_lossless_queues(self) -> int:
+        return len({queue for _, queue in self.mapping})
+
+    def lossless_queues(self) -> Tuple[int, ...]:
+        """All lossless queue indexes, ascending."""
+        return tuple(sorted({queue for _, queue in self.mapping}))
+
+
+@dataclass
+class PipelineConfig:
+    """Everything a simulated switch needs to run Tagger.
+
+    Attributes:
+        rule_table: Step-2 rewrite rules for this switch.
+        queue_map: Steps 1 and 3 tag -> queue assignment.
+        decouple_egress: True (correct Tagger behaviour, Fig. 8b) selects
+            the egress queue by the *rewritten* tag; False reproduces the
+            naive hardware default (Fig. 8a) that loses packets across
+            priority transitions.
+    """
+
+    rule_table: RuleTable
+    queue_map: QueueMap
+    decouple_egress: bool = True
+
+    def classify_ingress(self, tag: int) -> int:
+        return self.queue_map.queue_for(tag)
+
+    def rewrite(self, tag: int, in_port: int, out_port: int) -> int:
+        return self.rule_table.lookup(tag, in_port, out_port)
+
+    def classify_egress(self, old_tag: int, new_tag: int) -> int:
+        if self.decouple_egress:
+            return self.queue_map.queue_for(new_tag)
+        return self.queue_map.queue_for(old_tag)

@@ -1,0 +1,244 @@
+"""High-level planning API: from topology + ELP to a deployable Tagger plan.
+
+:class:`TaggerPlan` is the main entry point of the library. It bundles:
+
+- the tagged graph (design intent),
+- per-switch rule tables + queue map (deployment artifacts),
+- verification (Theorem 5.1) and ELP-coverage reports,
+- per-switch pipeline configs for the simulator.
+
+Three constructors mirror the paper:
+
+- :meth:`TaggerPlan.from_elp` — Algorithm 1 (+ optional Algorithm 2) on an
+  explicit ELP, for any topology;
+- :meth:`TaggerPlan.for_clos` — the topology-aware Clos scheme (§4.3),
+  no enumeration needed;
+- :meth:`TaggerPlan.for_multiclass_clos` — §6's staggered classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.bruteforce import bruteforce_tagging
+from repro.core.clos import ClosTagger
+from repro.core.determinize import deterministic_minimize
+from repro.core.greedy import greedy_minimize
+from repro.core.multiclass import MultiClassClosTagger, TrafficClass
+from repro.core.pipeline import PipelineConfig, QueueMap
+from repro.core.rules import (
+    RuleGenerationReport,
+    RuleTable,
+    coverage_report,
+    materialize_policy_rules,
+    rules_from_tagged_graph,
+    rules_to_tagged_graph,
+)
+from repro.core.tags import INITIAL_TAG, TaggedGraph
+from repro.core.verification import VerificationReport, assert_deadlock_free, verify_tagged_graph
+from repro.exceptions import TaggingError
+from repro.topology.base import Topology
+
+
+@dataclass
+class TaggerPlan:
+    """A complete, verified Tagger deployment for one fabric."""
+
+    topo: Topology
+    graph: TaggedGraph
+    tables: Dict[str, RuleTable]
+    queue_map: QueueMap
+    description: str = ""
+    rule_report: Optional[RuleGenerationReport] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_elp(
+        topo: Topology,
+        elp: Iterable[Sequence[str]],
+        minimize: str = "deterministic",
+        max_lossless_queues: int = 8,
+        on_conflict: str = "max",
+    ) -> "TaggerPlan":
+        """Generic construction: Algorithm 1, then tag minimization.
+
+        Args:
+            minimize: ``"deterministic"`` (default) runs the
+                rule-realizable merge of :mod:`repro.core.determinize`;
+                ``"paper"`` runs Algorithm 2 exactly as printed (rule
+                conflicts, if any, resolved toward the larger tag);
+                ``"off"`` deploys the brute-force tags directly.
+
+        Raises :class:`~repro.exceptions.CapacityError` if the resulting
+        tag count exceeds ``max_lossless_queues`` — the paper's practical
+        constraint (§3.3).
+        """
+        if minimize not in ("deterministic", "paper", "off"):
+            raise TaggingError(f"unknown minimize mode {minimize!r}")
+        graph = bruteforce_tagging(topo, elp)
+        rule_report: Optional[RuleGenerationReport] = None
+        if minimize == "deterministic":
+            result = deterministic_minimize(topo, graph)
+            tables = result.tables
+            graph = result.graph
+            assert_deadlock_free(graph)
+        else:
+            if minimize == "paper":
+                graph = greedy_minimize(graph)
+            assert_deadlock_free(graph)
+            rule_report = rules_from_tagged_graph(
+                topo, graph, on_conflict=on_conflict
+            )
+            tables = rule_report.tables
+            if rule_report.conflicts:
+                # Conflict resolution changed semantics; re-verify what
+                # the rules actually deploy.
+                effective = rules_to_tagged_graph(topo, tables)
+                assert_deadlock_free(effective)
+                graph = effective
+        queue_map = QueueMap.identity(graph.max_tag, max_lossless_queues)
+        return TaggerPlan(
+            topo=topo,
+            graph=graph,
+            tables=tables,
+            queue_map=queue_map,
+            description=f"algorithm-1+{minimize} ({graph.num_tags} tags)",
+            rule_report=rule_report,
+        )
+
+    @staticmethod
+    def for_clos(
+        topo: Topology,
+        max_bounces: int = 1,
+        max_lossless_queues: int = 8,
+        materialize: bool = True,
+    ) -> "TaggerPlan":
+        """Topology-aware Clos plan: ``max_bounces + 1`` lossless tags.
+
+        With ``materialize=False`` the rule tables stay functional
+        (policy-backed) — preferable for very large fabrics.
+        """
+        tagger = ClosTagger(topo, max_bounces=max_bounces)
+        graph = tagger.tagged_graph()
+        assert_deadlock_free(graph)
+        tags = list(range(INITIAL_TAG, tagger.max_lossless_tag + 1))
+        tables: Dict[str, RuleTable] = {}
+        for switch in topo.switches:
+            if materialize:
+                tables[switch] = materialize_policy_rules(
+                    topo, switch, tagger.rewrite, tags
+                )
+            else:
+                tables[switch] = RuleTable(switch=switch, policy=tagger.rewrite)
+        queue_map = QueueMap.identity(
+            tagger.num_lossless_tags, max_lossless_queues
+        )
+        return TaggerPlan(
+            topo=topo,
+            graph=graph,
+            tables=tables,
+            queue_map=queue_map,
+            description=f"clos k={max_bounces} ({tagger.num_lossless_tags} tags)",
+        )
+
+    @staticmethod
+    def for_multiclass_clos(
+        topo: Topology,
+        classes: Sequence[TrafficClass],
+        max_lossless_queues: int = 8,
+    ) -> "TaggerPlan":
+        """§6's staggered multi-class plan over a layered fabric."""
+        tagger = MultiClassClosTagger(topo, classes)
+        graph = tagger.tagged_graph()
+        assert_deadlock_free(graph)
+        tags = list(range(INITIAL_TAG, INITIAL_TAG + tagger.num_lossless_tags))
+        tables = {
+            switch: materialize_policy_rules(topo, switch, tagger.rewrite, tags)
+            for switch in topo.switches
+        }
+        queue_map = QueueMap.identity(tagger.num_lossless_tags, max_lossless_queues)
+        return TaggerPlan(
+            topo=topo,
+            graph=graph,
+            tables=tables,
+            queue_map=queue_map,
+            description=(
+                f"multiclass clos ({len(classes)} classes, "
+                f"{tagger.num_lossless_tags} tags)"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_lossless_queues(self) -> int:
+        return self.queue_map.num_lossless_queues
+
+    @property
+    def total_rules(self) -> int:
+        return sum(len(table) for table in self.tables.values())
+
+    @property
+    def max_rules_per_switch(self) -> int:
+        return max((len(table) for table in self.tables.values()), default=0)
+
+    def verify(self) -> VerificationReport:
+        """Re-run Theorem 5.1 verification on the plan's tagged graph."""
+        return verify_tagged_graph(self.graph)
+
+    def coverage(
+        self, paths: Iterable[Sequence[str]], initial_tag: int = INITIAL_TAG
+    ) -> float:
+        """Fraction of ``paths`` that stay lossless end-to-end."""
+        lossless, total, _ = coverage_report(
+            self.topo, self.tables, paths, initial_tag=initial_tag
+        )
+        if total == 0:
+            raise TaggingError("coverage over an empty path set")
+        return lossless / total
+
+    def pipeline_config(self, switch: str, decouple_egress: bool = True) -> PipelineConfig:
+        """Per-switch config consumed by the simulator."""
+        table = self.tables.get(switch)
+        if table is None:
+            table = RuleTable(switch=switch)
+        return PipelineConfig(
+            rule_table=table,
+            queue_map=self.queue_map,
+            decouple_egress=decouple_egress,
+        )
+
+    def fit_to_queues(self, max_lossless_queues: int) -> "TaggerPlan":
+        """Return a new plan fused into a smaller queue budget.
+
+        Safely merges adjacent tag classes (see
+        :mod:`repro.core.queuefit`) and renumbers the rule tables to
+        match. Raises :class:`~repro.exceptions.CapacityError` when the
+        ELP genuinely does not fit the hardware.
+        """
+        from repro.core.queuefit import fit_to_queues, remap_tables
+
+        fused, mapping = fit_to_queues(self.graph, max_lossless_queues)
+        assert_deadlock_free(fused)
+        return TaggerPlan(
+            topo=self.topo,
+            graph=fused,
+            tables=remap_tables(self.tables, mapping),
+            queue_map=QueueMap.identity(
+                fused.max_tag if fused.nodes else 0, max_lossless_queues
+            ),
+            description=f"{self.description} fused to {fused.num_tags} tags",
+            rule_report=self.rule_report,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"TaggerPlan[{self.description}]: "
+            f"{self.num_lossless_queues} lossless queue(s), "
+            f"{self.total_rules} rules total, "
+            f"max {self.max_rules_per_switch} rules/switch"
+        )

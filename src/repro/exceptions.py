@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Tagger reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Malformed topology: unknown node, duplicate link, bad parameters."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed: no path, disconnected graph, bad endpoints."""
+
+
+class TaggingError(ReproError):
+    """Tagged-graph construction or validation failed."""
+
+
+class VerificationError(TaggingError):
+    """A tagging scheme violates one of the deadlock-freedom requirements.
+
+    Raised by :func:`repro.core.verification.verify_tagged_graph` when either
+    requirement R1 (per-tag acyclicity) or R2 (monotonic tag transitions) of
+    Theorem 5.1 fails.
+    """
+
+
+class RuleError(ReproError):
+    """Match-action rule generation or compression failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was configured or driven incorrectly."""
+
+
+class CapacityError(SimulationError):
+    """A switch was configured with more lossless queues than it supports."""

@@ -1,0 +1,17 @@
+"""Measurement methodology reproductions (paper §3.2)."""
+
+from repro.measurement.probing import (
+    MeasurementStats,
+    ProbeCampaign,
+    ProbeResult,
+    probe_return_ttl,
+    run_measurement,
+)
+
+__all__ = [
+    "ProbeCampaign",
+    "ProbeResult",
+    "MeasurementStats",
+    "probe_return_ttl",
+    "run_measurement",
+]

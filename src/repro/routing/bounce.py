@@ -1,0 +1,141 @@
+"""Bounce-path enumeration for layered topologies.
+
+A *bounce* is a DOWN->UP direction reversal (paper §4.2, Fig. 3). The
+paper's recommended ELP for Clos is "all shortest up-down paths plus all
+paths with up to k bounces"; this module enumerates those k-bounce paths
+so they can be fed to the generic tagging algorithms, and classifies
+arbitrary paths by bounce count.
+
+Enumeration is exponential in the worst case, so callers provide explicit
+caps; for production-scale fabrics the Clos-specific tagger
+(:mod:`repro.core.clos`) needs *no* enumeration (its rules are local).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.exceptions import RoutingError
+from repro.routing.base import Path, as_path, count_bounces
+from repro.topology.base import Topology
+
+#: Hop direction markers.
+_UP = 1
+_DOWN = -1
+
+
+def bounce_paths(
+    topo: Topology,
+    src: str,
+    dst: str,
+    max_bounces: int,
+    max_len: Optional[int] = None,
+    max_paths: Optional[int] = None,
+) -> List[Path]:
+    """All loop-free switch paths from ``src`` to ``dst`` with <= k bounces.
+
+    Args:
+        topo: A layered topology (every switch must carry a layer).
+        src: Source switch.
+        dst: Destination switch.
+        max_bounces: Bounce budget k (0 = plain up-down paths).
+        max_len: Cap on path node count (default: generous bound derived
+            from the layer count and bounce budget).
+        max_paths: Stop after this many paths (None = all).
+
+    Paths are DFS-enumerated in lexicographic neighbor order, so output is
+    deterministic.
+    """
+    for endpoint in (src, dst):
+        if topo.layer_of(endpoint) is None:
+            raise RoutingError(f"{endpoint!r} has no layer; bounces undefined")
+    if max_bounces < 0:
+        raise RoutingError("max_bounces must be >= 0")
+    num_layers = 1 + max(
+        node.layer
+        for node in topo.nodes.values()
+        if node.is_switch and node.layer is not None
+    )
+    if max_len is None:
+        # Each up-down segment spans at most 2 * (num_layers - 1) hops.
+        max_len = (max_bounces + 1) * 2 * (num_layers - 1) + 1
+
+    results: List[Path] = []
+
+    def dfs(
+        node: str,
+        path: List[str],
+        visited: Set[str],
+        descended: bool,
+        bounces: int,
+    ) -> bool:
+        """Returns True when the path cap was hit (stop signal)."""
+        if node == dst:
+            results.append(as_path(path))
+            return max_paths is not None and len(results) >= max_paths
+        if len(path) >= max_len:
+            return False
+        here = topo.layer_of(node)
+        for peer in sorted(topo.neighbors(node)):
+            if peer in visited or not topo.node(peer).is_switch:
+                continue
+            there = topo.layer_of(peer)
+            if there is None:
+                continue
+            if there > here:  # going up
+                new_bounces = bounces + (1 if descended else 0)
+                if new_bounces > max_bounces:
+                    continue
+                new_descended = False
+            elif there < here:  # going down
+                new_bounces = bounces
+                new_descended = True
+            else:  # sideways links do not exist in strict layered fabrics
+                continue
+            visited.add(peer)
+            path.append(peer)
+            stop = dfs(peer, path, visited, new_descended, new_bounces)
+            path.pop()
+            visited.remove(peer)
+            if stop:
+                return True
+        return False
+
+    dfs(src, [src], {src}, descended=False, bounces=0)
+    return sorted(set(results), key=lambda p: (len(p), p))
+
+
+def all_bounce_paths(
+    topo: Topology,
+    max_bounces: int,
+    endpoints: Optional[Sequence[str]] = None,
+    max_len: Optional[int] = None,
+    max_paths_per_pair: Optional[int] = None,
+) -> List[Path]:
+    """k-bounce paths between every ordered pair of endpoints (default: ToRs)."""
+    if endpoints is None:
+        endpoints = sorted(topo.switches_at_layer(0))
+    paths: List[Path] = []
+    for src in endpoints:
+        for dst in endpoints:
+            if src == dst:
+                continue
+            paths.extend(
+                bounce_paths(
+                    topo,
+                    src,
+                    dst,
+                    max_bounces,
+                    max_len=max_len,
+                    max_paths=max_paths_per_pair,
+                )
+            )
+    return paths
+
+
+def classify_by_bounces(topo: Topology, paths: Sequence[Sequence[str]]) -> dict:
+    """Histogram ``bounce_count -> [paths]`` for a path collection."""
+    buckets: dict = {}
+    for path in paths:
+        buckets.setdefault(count_bounces(topo, path), []).append(as_path(path))
+    return buckets

@@ -1,0 +1,289 @@
+"""Asynchronous routing reconvergence — where bounces really come from.
+
+Paper §3.1: routing protocols "are inherently asynchronous distributed
+systems — there is no guarantee that all routers will react to network
+dynamics at the exact same time. This unavoidably creates transient
+routing loops or CBDs".
+
+This module makes that concrete with an event-driven distance-vector
+protocol (asynchronous Bellman-Ford with per-neighbor advertised
+distances). Every switch keeps, per destination, its own distance and
+next-hop set plus the last distance each neighbor advertised; failures
+are detected after ``detect_delay`` and updates propagate one
+advertisement hop per ``adv_delay``. Between the failure and global
+convergence, tables go through *transient states* that contain exactly
+the micro-loops and bounce paths the paper measures in production.
+
+Two uses:
+
+- :meth:`ConvergenceProcess.run_to_convergence` — enumerate the timeline
+  of table states for analysis (find transient loops/bounces);
+- :meth:`ConvergenceProcess.attach` — drive a live
+  :class:`~repro.simulator.network.SimNetwork`'s forwarding table with
+  the same timeline, so packets actually experience the transients.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.exceptions import RoutingError
+from repro.routing.base import ForwardingTable
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+
+#: Bounded metric "infinity", as real distance-vector protocols use
+#: (RIP's 16): without it, a disconnected destination counts to infinity
+#: one advertisement at a time. Paths in supported fabrics are far
+#: shorter, and the bounded count-to-infinity transient (with its
+#: momentary loops) is itself a realistic protocol behaviour.
+INFINITY = 32
+
+
+@dataclass(frozen=True)
+class TableUpdate:
+    """One switch's route change at a point in (protocol) time."""
+
+    time: float
+    switch: str
+    dst: str
+    next_hops: Tuple[str, ...]  # empty = route withdrawn
+    distance: int
+
+
+class ConvergenceProcess:
+    """Asynchronous distance-vector reconvergence for one destination set.
+
+    The protocol state lives outside any packet simulator; apply the
+    produced :class:`TableUpdate` timeline wherever needed.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        destinations: Optional[Sequence[str]] = None,
+        detect_delay: float = 1e-3,
+        adv_delay: float = 1e-3,
+    ) -> None:
+        self.topo = topo
+        self.destinations = (
+            sorted(destinations) if destinations is not None else sorted(topo.hosts)
+        )
+        self.detect_delay = detect_delay
+        self.adv_delay = adv_delay
+        # dist[switch][dst], next_hops[switch][dst]
+        self.dist: Dict[str, Dict[str, int]] = {}
+        self.next_hops: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        # advertised[switch][neighbor][dst]: last distance heard from neighbor
+        self.advertised: Dict[str, Dict[str, Dict[str, int]]] = {}
+        self.updates: List[TableUpdate] = []
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # Converged bootstrap
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        from repro.routing.shortest import bfs_distances
+
+        for switch in self.topo.switches:
+            self.dist[switch] = {}
+            self.next_hops[switch] = {}
+            self.advertised[switch] = {
+                peer: {}
+                for peer in self.topo.neighbors(switch, include_failed=True)
+                if self.topo.node(peer).is_switch
+            }
+        for dst in self.destinations:
+            distances = bfs_distances(self.topo, dst)
+            for switch in self.topo.switches:
+                d = distances.get(switch, INFINITY)
+                self.dist[switch][dst] = d
+                hops = tuple(
+                    sorted(
+                        peer
+                        for peer in self.topo.neighbors(switch)
+                        if distances.get(peer, INFINITY) == d - 1
+                    )
+                )
+                self.next_hops[switch][dst] = hops
+            for switch in self.topo.switches:
+                for peer in self.advertised[switch]:
+                    self.advertised[switch][peer][dst] = distances.get(
+                        peer, INFINITY
+                    )
+
+    # ------------------------------------------------------------------
+    # The protocol
+    # ------------------------------------------------------------------
+    def fail_link(self, a: str, b: str, at: float = 0.0) -> List[TableUpdate]:
+        """Fail a link and run the protocol to quiescence.
+
+        Returns the ordered timeline of table changes (also appended to
+        :attr:`updates`). The topology is left with the link failed.
+        """
+        self.topo.fail_link(a, b)
+        heap: List[Tuple[float, int, str]] = []
+        counter = itertools.count()
+
+        def push(time: float, switch: str) -> None:
+            heapq.heappush(heap, (time, next(counter), switch))
+
+        # Adjacent switches detect the failure and forget everything the
+        # dead neighbor advertised.
+        detect_at = at + self.detect_delay
+        for me, dead in ((a, b), (b, a)):
+            if not self.topo.node(me).is_switch:
+                continue
+            if dead in self.advertised[me]:
+                for dst in self.destinations:
+                    self.advertised[me][dead][dst] = INFINITY
+            push(detect_at, me)
+
+        timeline: List[TableUpdate] = []
+        guard = 0
+        while heap:
+            guard += 1
+            if guard > 200_000:
+                raise RoutingError("convergence did not quiesce (guard hit)")
+            time, _, switch = heapq.heappop(heap)
+            changed = self._recompute(switch, time, timeline)
+            if changed:
+                for peer in self._live_switch_neighbors(switch):
+                    self._hear(peer, switch)
+                    push(time + self.adv_delay, peer)
+        self.updates.extend(timeline)
+        return timeline
+
+    def _live_switch_neighbors(self, switch: str) -> List[str]:
+        return [
+            peer
+            for peer in self.topo.neighbors(switch)
+            if self.topo.node(peer).is_switch
+        ]
+
+    def _hear(self, listener: str, speaker: str) -> None:
+        """``listener`` receives ``speaker``'s current distances."""
+        book = self.advertised[listener].setdefault(speaker, {})
+        for dst in self.destinations:
+            book[dst] = self.dist[speaker][dst]
+
+    def _recompute(
+        self, switch: str, time: float, timeline: List[TableUpdate]
+    ) -> bool:
+        """Bellman-Ford step from the advertised distances. True = changed."""
+        changed = False
+        for dst in self.destinations:
+            best = INFINITY
+            hops: List[str] = []
+            # Directly attached destination?
+            if dst in self.topo.neighbors(switch):
+                best = 1
+                hops = [dst]
+            else:
+                for peer in self._live_switch_neighbors(switch):
+                    peer_dist = self.advertised[switch].get(peer, {}).get(
+                        dst, INFINITY
+                    )
+                    candidate = min(INFINITY, peer_dist + 1)
+                    if candidate >= INFINITY:
+                        continue
+                    if candidate < best:
+                        best = candidate
+                        hops = [peer]
+                    elif candidate == best:
+                        hops.append(peer)
+            hops_tuple = tuple(sorted(hops)) if best < INFINITY else ()
+            if (
+                best != self.dist[switch][dst]
+                or hops_tuple != self.next_hops[switch][dst]
+            ):
+                self.dist[switch][dst] = best
+                self.next_hops[switch][dst] = hops_tuple
+                timeline.append(
+                    TableUpdate(
+                        time=time,
+                        switch=switch,
+                        dst=dst,
+                        next_hops=hops_tuple,
+                        distance=best,
+                    )
+                )
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def current_table(self) -> ForwardingTable:
+        """Snapshot of the protocol's current forwarding state."""
+        table = ForwardingTable()
+        for switch in self.topo.switches:
+            for dst in self.destinations:
+                hops = self.next_hops[switch][dst]
+                if hops:
+                    table.set_next_hops(switch, dst, list(hops))
+        return table
+
+    @staticmethod
+    def apply_updates(
+        table: ForwardingTable, updates: Sequence[TableUpdate]
+    ) -> None:
+        """Apply a batch of updates to a live forwarding table."""
+        for update in updates:
+            if update.next_hops:
+                table.set_next_hops(
+                    update.switch, update.dst, list(update.next_hops)
+                )
+            else:
+                table.remove_route(update.switch, update.dst)
+
+    def attach(
+        self, net: "SimNetwork", timeline: Sequence[TableUpdate], offset: float = 0.0
+    ) -> None:
+        """Schedule a timeline onto a running simulation's table."""
+        for update in timeline:
+            net.at(
+                offset + update.time,
+                lambda u=update: self.apply_updates(net.table, [u]),
+            )
+
+
+def transient_states(
+    topo: Topology,
+    timeline: Sequence[TableUpdate],
+    base: ForwardingTable,
+) -> List[Tuple[float, ForwardingTable]]:
+    """Expand a timeline into the sequence of (time, table) snapshots.
+
+    Each snapshot deep-copies the table after applying all updates with
+    the same timestamp, so callers can inspect every intermediate routing
+    state for loops and bounces.
+    """
+    snapshots: List[Tuple[float, ForwardingTable]] = []
+    current = ForwardingTable(
+        entries={
+            switch: {dst: list(hops) for dst, hops in routes.items()}
+            for switch, routes in base.entries.items()
+        }
+    )
+    i = 0
+    while i < len(timeline):
+        time = timeline[i].time
+        batch = []
+        while i < len(timeline) and timeline[i].time == time:
+            batch.append(timeline[i])
+            i += 1
+        ConvergenceProcess.apply_updates(current, batch)
+        snapshot = ForwardingTable(
+            entries={
+                switch: {dst: list(hops) for dst, hops in routes.items()}
+                for switch, routes in current.entries.items()
+            }
+        )
+        snapshots.append((time, snapshot))
+    return snapshots

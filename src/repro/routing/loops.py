@@ -1,0 +1,87 @@
+"""Routing-loop injection.
+
+Paper Fig. 11 creates a deadlock by installing a *bad route* at a leaf so a
+flow ping-pongs between a ToR and the leaf; the looping packets occupy
+lossless buffers and, combined with a crossing flow, form a CBD. This
+module reproduces that manipulation on a :class:`ForwardingTable` and
+provides loop detection for arbitrary tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.routing.base import ForwardingTable
+from repro.topology.base import Topology
+
+
+def install_loop(
+    table: ForwardingTable,
+    dst: str,
+    a: str,
+    b: str,
+) -> None:
+    """Make ``a`` and ``b`` forward traffic for ``dst`` at each other.
+
+    This mirrors the paper's Fig. 11 manipulation ("install a bad route at
+    L1 to force F1 into a routing loop between T1 and L1").
+    """
+    table.set_next_hops(a, dst, [b])
+    table.set_next_hops(b, dst, [a])
+
+
+def find_forwarding_loops(
+    topo: Topology,
+    table: ForwardingTable,
+    destinations: Optional[Sequence[str]] = None,
+    flow_hash: int = 0,
+) -> Dict[str, List[str]]:
+    """Detect forwarding loops per destination.
+
+    For each destination, follows the (hash-selected) next hops from every
+    switch; any walk that revisits a node is a loop. Returns
+    ``dst -> sorted list of switches whose traffic to dst loops``.
+    """
+    loops: Dict[str, List[str]] = {}
+    if destinations is None:
+        destinations = sorted(
+            {
+                dst
+                for routes in table.entries.values()
+                for dst in routes
+            }
+        )
+    for dst in destinations:
+        looping: Set[str] = set()
+        # status: 0 = in progress, 1 = reaches dst, 2 = loops/dead-ends into loop
+        status: Dict[str, int] = {}
+
+        def walk(start: str) -> int:
+            chain = []
+            node = start
+            while True:
+                if node == dst:
+                    result = 1
+                    break
+                if node in status:
+                    if status[node] == 0:
+                        result = 2  # closed a cycle within this walk
+                    else:
+                        result = status[node]
+                    break
+                if not table.has_route(node, dst):
+                    result = 1  # falls off the table; not a loop
+                    break
+                status[node] = 0
+                chain.append(node)
+                node = table.next_hop(node, dst, flow_hash)
+            for visited in chain:
+                status[visited] = result
+            return result
+
+        for switch in topo.switches:
+            if walk(switch) == 2:
+                looping.add(switch)
+        if looping:
+            loops[dst] = sorted(looping)
+    return loops

@@ -1,0 +1,139 @@
+"""Ingress buffer accounting and PFC threshold logic.
+
+PFC is an *ingress* mechanism: a switch counts, per (ingress port,
+priority), the bytes currently held for packets that arrived there (the
+packets themselves may be waiting in egress queues — they stay charged to
+their ingress account until they leave the switch). When an account
+crosses XOFF the switch pauses the upstream neighbor for that priority;
+when it drains to XON it resumes it. The hard cap (``xoff + headroom``)
+models the physically reserved headroom: a lossless packet arriving above
+the cap is dropped, which can only happen when PFC is misconfigured —
+e.g. the Fig. 8a priority-transition bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.pipeline import LOSSY_QUEUE
+from repro.simulator.packet import SimConfig
+
+AccountKey = Tuple[int, int]  # (ingress port, priority queue)
+
+
+@dataclass
+class CrossingResult:
+    """What a charge/release did to the PFC state of one account."""
+
+    accepted: bool = True
+    send_pause: bool = False
+    send_resume: bool = False
+
+
+@dataclass
+class IngressAccounting:
+    """Per-switch ingress byte accounting with XOFF/XON detection.
+
+    Two threshold modes:
+
+    - **static** (default): fixed XOFF/XON per account;
+    - **dynamic** (``config.dynamic_thresholds``): Broadcom-style alpha
+      thresholds — XOFF shrinks as the switch's shared lossless pool
+      fills, XON follows at a fixed offset. Under sustained pressure
+      every account on the switch pauses earlier and resumes later.
+    """
+
+    config: SimConfig
+    occupancy: Dict[AccountKey, int] = field(default_factory=dict)
+    pause_sent: Dict[AccountKey, bool] = field(default_factory=dict)
+    lossless_total: int = 0
+
+    # ------------------------------------------------------------------
+    # Thresholds
+    # ------------------------------------------------------------------
+    def current_xoff(self) -> int:
+        """The XOFF threshold in force right now (same for all accounts)."""
+        if not self.config.dynamic_thresholds:
+            return self.config.xoff_bytes
+        free = self.config.shared_buffer_bytes - self.lossless_total
+        dynamic = int(self.config.dt_alpha * free)
+        return max(
+            self.config.dt_floor_bytes, min(self.config.xoff_bytes, dynamic)
+        )
+
+    def current_xon(self) -> int:
+        if not self.config.dynamic_thresholds:
+            return self.config.xon_bytes
+        return max(0, self.current_xoff() - self.config.dt_xon_offset_bytes)
+
+    def _cap(self) -> int:
+        """Hard per-account cap: current XOFF plus reserved headroom."""
+        return self.current_xoff() + self.config.headroom_bytes
+
+    # ------------------------------------------------------------------
+    # Charge / release
+    # ------------------------------------------------------------------
+    def charge(self, port: int, queue: int, size: int) -> CrossingResult:
+        """Account an arriving packet; decide drops and PAUSE generation.
+
+        Lossy queues tail-drop at ``lossy_cap_bytes`` and never pause.
+        Lossless queues pause upstream at XOFF and drop only beyond the
+        headroom cap (a config-error signal, counted by the caller).
+        """
+        key = (port, queue)
+        occ = self.occupancy.get(key, 0)
+        result = CrossingResult()
+        if queue == LOSSY_QUEUE:
+            if occ + size > self.config.lossy_cap_bytes:
+                result.accepted = False
+                return result
+            self.occupancy[key] = occ + size
+            return result
+
+        if occ + size > self._cap():
+            result.accepted = False
+            return result
+        self.occupancy[key] = occ + size
+        self.lossless_total += size
+        if self.occupancy[key] >= self.current_xoff() and not self.pause_sent.get(
+            key, False
+        ):
+            self.pause_sent[key] = True
+            result.send_pause = True
+        return result
+
+    def release(self, port: int, queue: int, size: int) -> CrossingResult:
+        """Release bytes when a packet leaves the switch; maybe RESUME."""
+        key = (port, queue)
+        occ = self.occupancy.get(key, 0)
+        if size > occ:
+            raise AssertionError(
+                f"ingress accounting underflow on {key}: {occ} - {size}"
+            )
+        self.occupancy[key] = occ - size
+        result = CrossingResult()
+        if queue != LOSSY_QUEUE:
+            self.lossless_total -= size
+            if (
+                self.pause_sent.get(key, False)
+                and self.occupancy[key] <= self.current_xon()
+            ):
+                self.pause_sent[key] = False
+                result.send_resume = True
+        return result
+
+    def occupancy_of(self, port: int, queue: int) -> int:
+        return self.occupancy.get((port, queue), 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.occupancy.values())
+
+    def paused_accounts(self) -> Dict[AccountKey, int]:
+        """Accounts currently holding an outstanding PAUSE upstream."""
+        return {
+            key: self.occupancy.get(key, 0)
+            for key, sent in self.pause_sent.items()
+            if sent
+        }

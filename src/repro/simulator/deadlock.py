@@ -1,0 +1,98 @@
+"""Runtime deadlock detection: cycles in the pause wait-for graph.
+
+A deadlock exists when a set of egress queues (a) hold packets, (b) are
+each paused by their downstream neighbor, and (c) each neighbor's pausing
+ingress account can only drain through another queue in the set — i.e.
+the *blocked-by* relation contains a directed cycle (the runtime
+manifestation of a CBD).
+
+Nodes of the wait-for graph are blocked egress queues
+``(switch, out_port, priority)``; there is an edge ``X -> Y`` when the
+ingress account that paused ``X`` holds packets currently sitting in
+blocked egress queue ``Y``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+
+WaitNode = Tuple[str, int, int]  # (switch, out_port, egress queue)
+
+
+def blocked_queues(net: "SimNetwork") -> List[WaitNode]:
+    """All egress queues currently holding packets while paused."""
+    nodes: List[WaitNode] = []
+    for name, switch in net.switches.items():
+        for port, tx in switch.tx_ports.items():
+            for queue in tx.blocked_queues():
+                nodes.append((name, port, queue))
+    return nodes
+
+
+def wait_for_graph(net: "SimNetwork") -> Dict[WaitNode, Set[WaitNode]]:
+    """Build the blocked-by relation among blocked egress queues."""
+    nodes = set(blocked_queues(net))
+    graph: Dict[WaitNode, Set[WaitNode]] = {node: set() for node in nodes}
+    for switch_name, out_port, queue in nodes:
+        downstream = net.topo.peer_on_port(switch_name, out_port)
+        if downstream not in net.switches:
+            continue  # paused by a host NIC: cannot be part of a CBD
+        neighbor = net.switches[downstream]
+        in_port_at_peer = net.topo.port_to(downstream, switch_name)
+        # The pause came from the account (in_port_at_peer, queue) at the
+        # neighbor. Find where that account's packets are waiting.
+        for peer_port, tx in neighbor.tx_ports.items():
+            for peer_queue, fifo in tx.queues.items():
+                target = (downstream, peer_port, peer_queue)
+                if target not in nodes:
+                    continue
+                if any(
+                    pkt.in_port == in_port_at_peer and pkt.in_queue == queue
+                    for pkt in fifo
+                ):
+                    graph[(switch_name, out_port, queue)].add(target)
+    return graph
+
+
+def find_deadlock_cycle(net: "SimNetwork") -> Optional[List[WaitNode]]:
+    """Return one wait-for cycle (a live deadlock), or None."""
+    graph = wait_for_graph(net)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    parent: Dict[WaitNode, Optional[WaitNode]] = {}
+
+    for root in sorted(graph):
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[WaitNode, List[WaitNode]]] = [
+            (root, sorted(graph[root]))
+        ]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, succs = stack[-1]
+            if succs:
+                succ = succs.pop()
+                if color[succ] == WHITE:
+                    color[succ] = GRAY
+                    parent[succ] = node
+                    stack.append((succ, sorted(graph[succ])))
+                elif color[succ] == GRAY:
+                    cycle = [succ]
+                    walk = node
+                    while walk != succ:
+                        cycle.append(walk)
+                        walk = parent[walk]
+                    cycle.reverse()
+                    return cycle
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_deadlocked(net: "SimNetwork") -> bool:
+    return find_deadlock_cycle(net) is not None

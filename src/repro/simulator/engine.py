@@ -1,0 +1,79 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: events are ``(time, seq, callback)`` triples
+in a binary heap; ``seq`` breaks ties FIFO so same-time events run in
+schedule order (deterministic runs). All simulator components share one
+:class:`Simulator` instance and schedule work through it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+        self._stopped = False
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self.at(self.now + delay, callback)
+
+    def at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute ``time`` (``>= now``)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the horizon / event budget / empty heap.
+
+        Returns the number of events processed in this call. The clock is
+        left at ``until`` (if given and reached) or at the last event time.
+        """
+        processed = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            processed += 1
+            self._events_run += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self.now < until and not self._heap:
+            self.now = until
+        elif until is not None and self._heap and self._heap[0][0] > until:
+            self.now = until
+        return processed
+
+    def stop(self) -> None:
+        """Abort :meth:`run` after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def total_events_run(self) -> int:
+        return self._events_run

@@ -1,0 +1,86 @@
+"""Flow definitions.
+
+Flows are host-to-host packet streams. Two source models:
+
+- **closed-loop** (``rate_bps=None``, the default): the flow keeps a
+  window of packets in the NIC; a new packet is injected whenever one
+  finishes serializing. This models an RDMA sender that saturates the
+  line unless PFC back-pressure reaches the NIC — exactly the behaviour
+  that lets deadlocks freeze a flow completely.
+- **open-loop** (``rate_bps`` set): packets are injected at a fixed rate
+  regardless of back-pressure (the NIC queue grows unboundedly while
+  paused, as host memory would).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.tags import INITIAL_TAG
+from repro.exceptions import SimulationError
+
+_flow_ids = itertools.count(1)
+
+
+@dataclass
+class Flow:
+    """One simulated flow.
+
+    Attributes:
+        src / dst: Host names.
+        start: Injection start time (seconds).
+        stop: Optional injection stop time.
+        packet_size: Bytes per packet.
+        rate_bps: Open-loop injection rate; None = closed-loop line rate.
+        window: Closed-loop NIC window (packets).
+        initial_tag: Tag stamped on injected packets (traffic class).
+        pinned_next_hops: Optional per-switch next-hop override — the
+            simulation analogue of the paper's "manually change the
+            routing tables" testbed steps. Maps switch name -> next hop.
+        total_bytes: Stop after injecting this many bytes (None = endless).
+        flow_id: Auto-assigned unique id (also used as the ECMP hash).
+    """
+
+    src: str
+    dst: str
+    start: float = 0.0
+    stop: Optional[float] = None
+    packet_size: int = 4096
+    rate_bps: Optional[float] = None
+    window: int = 8
+    initial_tag: int = INITIAL_TAG
+    pinned_next_hops: Optional[Dict[str, str]] = None
+    total_bytes: Optional[int] = None
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise SimulationError("flow src and dst must differ")
+        if self.packet_size <= 0:
+            raise SimulationError("packet_size must be positive")
+        if self.window <= 0:
+            raise SimulationError("window must be positive")
+        if self.stop is not None and self.stop < self.start:
+            raise SimulationError("flow stop precedes start")
+
+    @property
+    def closed_loop(self) -> bool:
+        return self.rate_bps is None
+
+    def active_at(self, time: float) -> bool:
+        return time >= self.start and (self.stop is None or time < self.stop)
+
+
+def pin_path(path: Sequence[str]) -> Dict[str, str]:
+    """Build a ``pinned_next_hops`` map from an explicit node path.
+
+    The path should run host, switches..., host (or start at the source
+    ToR). Every node except the last maps to its successor; host entries
+    are skipped (hosts always send to their ToR).
+    """
+    pinned: Dict[str, str] = {}
+    for i in range(len(path) - 1):
+        pinned[path[i]] = path[i + 1]
+    return pinned

@@ -1,0 +1,151 @@
+"""Simulation metrics: flow rates, drops, PFC activity, queue occupancy.
+
+Deliveries are bucketed on the fly (fixed-width time bins), which keeps
+memory bounded for long runs while still letting benchmarks plot the
+rate-vs-time series the paper's Figs 10-12 show.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulator.pfc import PfcLog
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of per-packet one-way delays (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[rank]
+
+
+#: Drop reasons.
+DROP_TTL = "ttl_expired"
+DROP_LOSSY = "lossy_overflow"
+DROP_LOSSLESS = "lossless_overflow"
+DROP_NO_ROUTE = "no_route"
+DROP_LINK_DOWN = "link_down"
+
+
+@dataclass
+class MetricsRecorder:
+    """Fabric-wide counters and time series for one simulation run."""
+
+    bucket_width: float = 0.001  # seconds
+    delivered_bytes: Counter = field(default_factory=Counter)   # flow -> bytes
+    delivered_packets: Counter = field(default_factory=Counter)
+    injected_packets: Counter = field(default_factory=Counter)
+    drops: Counter = field(default_factory=Counter)             # reason -> count
+    drops_per_flow: Counter = field(default_factory=Counter)
+    pfc: PfcLog = field(default_factory=PfcLog)
+    _buckets: Dict[int, Dict[int, int]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )  # flow -> bucket index -> bytes
+    _latencies: Dict[int, List[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )  # flow -> per-packet one-way delays (seconds)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_injection(self, flow_id: int) -> None:
+        self.injected_packets[flow_id] += 1
+
+    def record_delivery(
+        self,
+        time: float,
+        flow_id: int,
+        size: int,
+        created_at: Optional[float] = None,
+    ) -> None:
+        self.delivered_bytes[flow_id] += size
+        self.delivered_packets[flow_id] += 1
+        bucket = int(time / self.bucket_width)
+        flow_buckets = self._buckets[flow_id]
+        flow_buckets[bucket] = flow_buckets.get(bucket, 0) + size
+        if created_at is not None:
+            self._latencies[flow_id].append(time - created_at)
+
+    def record_drop(self, reason: str, flow_id: Optional[int] = None) -> None:
+        self.drops[reason] += 1
+        if flow_id is not None:
+            self.drops_per_flow[flow_id] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rate_series(
+        self, flow_id: int, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Per-bucket delivery rate in bits/s as ``(bucket_start, rate)``.
+
+        Buckets with no deliveries appear with rate 0 so deadlocks show as
+        a flat zero line rather than a gap.
+        """
+        flow_buckets = self._buckets.get(flow_id, {})
+        if end is None:
+            end = (max(flow_buckets) + 1) * self.bucket_width if flow_buckets else start
+        first = int(start / self.bucket_width)
+        last = int(end / self.bucket_width)
+        series = []
+        for bucket in range(first, last):
+            size = flow_buckets.get(bucket, 0)
+            series.append(
+                (bucket * self.bucket_width, size * 8.0 / self.bucket_width)
+            )
+        return series
+
+    def mean_rate(self, flow_id: int, start: float, end: float) -> float:
+        """Average delivery rate (bits/s) of a flow over [start, end)."""
+        if end <= start:
+            return 0.0
+        flow_buckets = self._buckets.get(flow_id, {})
+        first = int(start / self.bucket_width)
+        last = int(end / self.bucket_width)
+        total = sum(
+            size for bucket, size in flow_buckets.items() if first <= bucket < last
+        )
+        return total * 8.0 / (end - start)
+
+    def latency_stats(self, flow_id: int) -> Optional["LatencyStats"]:
+        """Per-packet one-way delay statistics for a flow (None = no data)."""
+        samples = self._latencies.get(flow_id)
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        return LatencyStats(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p99=_percentile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+    def total_drops(self, reason: Optional[str] = None) -> int:
+        if reason is None:
+            return sum(self.drops.values())
+        return self.drops.get(reason, 0)
+
+    def summary(self) -> str:
+        flows = sorted(self.delivered_bytes)
+        lines = [
+            f"flows={len(flows)} "
+            f"delivered={sum(self.delivered_bytes.values())}B "
+            f"drops={dict(self.drops)} "
+            f"pauses={self.pfc.pause_count} resumes={self.pfc.resume_count}"
+        ]
+        return "".join(lines)

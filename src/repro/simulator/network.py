@@ -1,0 +1,287 @@
+"""Simulation assembly: topology + routing + Tagger plan -> running fabric.
+
+:class:`SimNetwork` instantiates a :class:`SimSwitch` per switch and a
+:class:`SimHost` per host, wires a :class:`TxPort` onto every directed
+link, and exposes the experiment API the benchmarks drive:
+
+- ``add_flow`` / ``at`` (scheduled mutations, e.g. "install a bad route
+  at t = 20 s");
+- ``run(until)``;
+- ``metrics`` (rates, drops, PFC activity) and deadlock probes.
+
+Switches run the paper's 3-step pipeline when given a
+:class:`TaggerPlan`; without one they run plain PFC on a single lossless
+priority (the paper's "without Tagger" baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.core.pipeline import PipelineConfig, QueueMap
+from repro.core.planner import TaggerPlan
+from repro.core.rules import RuleTable
+from repro.exceptions import SimulationError
+from repro.routing.base import ForwardingTable
+from repro.simulator.engine import Simulator
+from repro.simulator.flow import Flow
+from repro.simulator.host import SimHost
+from repro.simulator.metrics import MetricsRecorder
+from repro.simulator.packet import SimConfig
+from repro.simulator.switch import SimSwitch
+from repro.simulator.txport import TxPort
+from repro.topology.base import Topology
+
+
+def passthrough_pipeline(num_lossless_tags: int = 1) -> PipelineConfig:
+    """Plain PFC, no Tagger: tags pass through unchanged, tag = queue.
+
+    This is the baseline the paper's "without Tagger" experiments run:
+    every lossless packet stays in its priority for its whole life, so
+    bounces and loops can form CBDs.
+    """
+    keep_tag = lambda switch, in_port, out_port, tag: tag  # noqa: E731
+    return PipelineConfig(
+        rule_table=RuleTable(switch="*", policy=keep_tag),
+        queue_map=QueueMap.identity(num_lossless_tags),
+        decouple_egress=True,
+    )
+
+
+class SimNetwork:
+    """A fully wired simulated fabric."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        table: ForwardingTable,
+        pipelines: Optional[Dict[str, PipelineConfig]] = None,
+        config: SimConfig = SimConfig(),
+        host_queue_map: Optional[QueueMap] = None,
+        metrics_bucket: float = 0.001,
+    ) -> None:
+        self.topo = topo
+        self.table = table
+        self.config = config
+        self.sim = Simulator()
+        self.rng = random.Random(config.seed)
+        self.metrics = MetricsRecorder(bucket_width=metrics_bucket)
+        default_pipeline = passthrough_pipeline()
+        self._pipelines = pipelines or {}
+        self.host_queue_map = host_queue_map or default_pipeline.queue_map
+        self._pinned: Dict[int, Dict[str, str]] = {}
+        self.tracer = None  # optional PacketTracer (see simulator.trace)
+        self.transports: Dict[int, object] = {}  # flow_id -> ReliableMessage
+
+        self.switches: Dict[str, SimSwitch] = {}
+        self.hosts: Dict[str, SimHost] = {}
+        for name in topo.switches:
+            pipeline = self._pipelines.get(name, default_pipeline)
+            self.switches[name] = SimSwitch(self, name, pipeline)
+        for name in topo.hosts:
+            self.hosts[name] = SimHost(self, name)
+        self._wire_ports()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def with_plan(
+        topo: Topology,
+        table: ForwardingTable,
+        plan: TaggerPlan,
+        config: SimConfig = SimConfig(),
+        decouple_egress: bool = True,
+        metrics_bucket: float = 0.001,
+    ) -> "SimNetwork":
+        """Build a fabric running a :class:`TaggerPlan` on every switch."""
+        pipelines = {
+            switch: plan.pipeline_config(switch, decouple_egress=decouple_egress)
+            for switch in topo.switches
+        }
+        return SimNetwork(
+            topo,
+            table,
+            pipelines=pipelines,
+            config=config,
+            host_queue_map=plan.queue_map,
+            metrics_bucket=metrics_bucket,
+        )
+
+    def _wire_ports(self) -> None:
+        for link in self.topo.iter_links(include_failed=True):
+            self._wire_direction(link.a, link.port_a, link.b, link.port_b)
+            self._wire_direction(link.b, link.port_b, link.a, link.port_a)
+
+    def _wire_direction(
+        self, src: str, src_port: int, dst: str, dst_port: int
+    ) -> None:
+        dst_node = self.topo.node(dst)
+        if dst_node.is_switch:
+            receiver = self.switches[dst]
+            deliver = lambda pkt, r=receiver, p=dst_port: r.receive(pkt, p)  # noqa: E731
+        else:
+            receiver_host = self.hosts[dst]
+            deliver = lambda pkt, r=receiver_host, p=dst_port: r.receive(pkt, p)  # noqa: E731
+
+        src_node = self.topo.node(src)
+        if src_node.is_switch:
+            switch = self.switches[src]
+            port = TxPort(
+                self.sim,
+                self.config,
+                owner=src,
+                port=src_port,
+                peer=dst,
+                deliver=deliver,
+                on_sent=switch.on_sent,
+            )
+            switch.tx_ports[src_port] = port
+        else:
+            host = self.hosts[src]
+            host.nic = TxPort(
+                self.sim,
+                self.config,
+                owner=src,
+                port=src_port,
+                peer=dst,
+                deliver=deliver,
+                on_sent=host.on_sent,
+            )
+
+    # ------------------------------------------------------------------
+    # Experiment API
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> Flow:
+        if flow.src not in self.hosts:
+            raise SimulationError(f"unknown source host {flow.src!r}")
+        if flow.dst not in self.hosts:
+            raise SimulationError(f"unknown destination host {flow.dst!r}")
+        if flow.pinned_next_hops:
+            self.pin_flow(flow.flow_id, flow.pinned_next_hops, dst=flow.dst)
+        self.hosts[flow.src].attach_flow(flow)
+        return flow
+
+    def pin_flow(
+        self,
+        flow_id: int,
+        next_hops: Dict[str, str],
+        dst: Optional[str] = None,
+    ) -> None:
+        """(Re)pin a flow's path.
+
+        With ``dst`` given, the pin applies only to packets addressed to
+        that destination — reverse-direction packets of the same flow
+        (transport ACKs) follow the normal tables instead of being bent
+        onto the forward path.
+        """
+        self._pinned[flow_id] = (dst, dict(next_hops))
+
+    def pinned_next_hop(
+        self, flow_id: int, switch: str, dst: Optional[str] = None
+    ) -> Optional[str]:
+        entry = self._pinned.get(flow_id)
+        if entry is None:
+            return None
+        pin_dst, mapping = entry
+        if pin_dst is not None and dst is not None and dst != pin_dst:
+            return None
+        return mapping.get(switch)
+
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a mutation (table edit, link failure, ...) at ``time``."""
+        self.sim.at(time, action)
+
+    def set_receiver_rate(self, host: str, rate_bps: Optional[float]) -> None:
+        """Throttle (rate in bit/s) or restore (None) a host's receiver."""
+        self.hosts[host].set_receive_rate(rate_bps)
+
+    def fail_link(self, a: str, b: str) -> int:
+        """Physically fail a switch-to-switch link mid-simulation.
+
+        Both directions stop transmitting; packets queued on the dead
+        ports are lost (counted as ``link_down`` drops) and their PFC
+        accounts released, exactly as a real port-down event discards the
+        egress queue. Returns the number of packets lost. Routing is NOT
+        touched — compose with table edits / local reroute / convergence
+        to model the control-plane reaction.
+        """
+        from repro.simulator.metrics import DROP_LINK_DOWN
+
+        self.topo.fail_link(a, b)
+        lost = 0
+        for src, dst in ((a, b), (b, a)):
+            if src not in self.switches:
+                continue  # host NICs: flows stall, nothing to discard
+            switch = self.switches[src]
+            port = self.topo.port_to(src, dst)
+            tx = switch.tx_ports[port]
+            tx.set_link_state(False)
+            for packet in tx.drain_all():
+                self.metrics.record_drop(DROP_LINK_DOWN, packet.flow_id)
+                crossing = switch.accounting.release(
+                    packet.in_port, packet.in_queue, packet.size
+                )
+                if crossing.send_resume:
+                    self.send_pfc(
+                        src, packet.in_port, packet.in_queue, pause=False
+                    )
+                lost += 1
+        return lost
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a previously failed link back up."""
+        self.topo.restore_link(a, b)
+        for src, dst in ((a, b), (b, a)):
+            if src in self.switches:
+                port = self.topo.port_to(src, dst)
+                self.switches[src].tx_ports[port].set_link_state(True)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def send_pfc(self, sender: str, in_port: int, queue: int, pause: bool) -> None:
+        """Deliver a PAUSE/RESUME from ``sender`` to its upstream neighbor."""
+        upstream = self.topo.peer_on_port(sender, in_port)
+        self.metrics.pfc.record(self.sim.now, sender, upstream, queue, pause)
+        if self.tracer is not None:
+            from repro.simulator.trace import EV_PAUSE, EV_RESUME
+
+            self.tracer.record(
+                self.sim.now,
+                EV_PAUSE if pause else EV_RESUME,
+                sender,
+                tag=queue,
+                detail=f"-> {upstream}",
+            )
+        upstream_node = self.topo.node(upstream)
+        if upstream_node.is_switch:
+            target = self.switches[upstream]
+            port = self.topo.port_to(upstream, sender)
+        else:
+            target = self.hosts[upstream]
+            port = 0
+        self.sim.schedule(
+            self.config.pfc_delay,
+            lambda: target.on_pfc(port, queue, pause),
+        )
+
+    def total_buffered_bytes(self) -> int:
+        return sum(s.accounting.total_bytes for s in self.switches.values())
+
+    def conservation_check(self) -> Dict[str, int]:
+        """Injected vs delivered vs dropped vs in-flight packet counts."""
+        injected = sum(self.metrics.injected_packets.values())
+        delivered = sum(self.metrics.delivered_packets.values())
+        dropped = sum(self.metrics.drops.values())
+        in_network = injected - delivered - dropped
+        return {
+            "injected": injected,
+            "delivered": delivered,
+            "dropped": dropped,
+            "in_flight": in_network,
+        }

@@ -1,0 +1,133 @@
+"""Packets and simulation-wide configuration constants."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.tags import INITIAL_TAG
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    ``tag`` mutates as switches rewrite it (the DSCP field in the real
+    implementation); ``ttl`` decrements per switch hop. The
+    ``in_port``/``in_queue`` fields record where the packet is charged at
+    its *current* switch (for PFC accounting release and for the runtime
+    wait-for graph); they are rewritten at each hop.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size: int
+    tag: int = INITIAL_TAG
+    ttl: int = 64
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    # Transport-layer fields (used by repro.simulator.transport).
+    kind: str = "data"  # "data" | "ack" | "nack" | "cnp"
+    psn: int = -1       # packet sequence number; -1 = unsequenced
+    ecn: bool = False   # congestion-experienced mark (set by switches)
+    # Per-hop bookkeeping (owned by the switch currently holding the packet).
+    in_port: Optional[int] = None
+    in_queue: Optional[int] = None
+    egress_queue: Optional[int] = None
+    hops: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.packet_id} flow={self.flow_id} "
+            f"{self.src}->{self.dst} tag={self.tag} ttl={self.ttl})"
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Fabric-wide simulation parameters.
+
+    Defaults model a scaled-down RoCE fabric: the paper's testbed runs
+    40 Gb/s links, which at packet granularity is too fine for a Python
+    DES over multi-second windows, so the default link rate is 1 Gb/s
+    with 4 KB packets — PFC dynamics (threshold crossings, pause
+    propagation, CBD formation) are unchanged, only the wall-clock axis
+    scales. All byte thresholds are per ingress (port, priority) queue.
+
+    Attributes:
+        bandwidth_bps: Link rate in bits per second.
+        prop_delay: Per-link propagation delay (seconds).
+        pfc_delay: Delay for a PFC PAUSE/RESUME frame to take effect.
+        xoff_bytes: Ingress occupancy that triggers PAUSE upstream.
+        xon_bytes: Occupancy at which RESUME is sent.
+        headroom_bytes: Extra lossless capacity above XOFF for in-flight
+            packets; the hard cap is ``xoff + headroom`` and a lossless
+            drop beyond it indicates a broken configuration (Fig. 8a).
+        lossy_cap_bytes: Hard cap per lossy ingress queue (tail drop).
+        default_ttl: Initial packet TTL.
+        injection_jitter: Upper bound (seconds) of the uniform random
+            delay added to each host packet injection. Models host-stack
+            timing noise; without it the fully deterministic simulator
+            phase-locks into periodic orbits that can dodge deadlocks a
+            real fabric falls into.
+        seed: RNG seed for jitter and any other randomized choices.
+    """
+
+    bandwidth_bps: float = 1e9
+    prop_delay: float = 1e-6
+    pfc_delay: float = 2e-6
+    xoff_bytes: int = 40 * 1024
+    xon_bytes: int = 24 * 1024
+    headroom_bytes: int = 48 * 1024
+    lossy_cap_bytes: int = 64 * 1024
+    default_ttl: int = 64
+    injection_jitter: float = 0.0
+    seed: int = 1
+    # Dynamic shared-buffer thresholds (Broadcom-style alpha model).
+    # When enabled, each lossless account's XOFF becomes
+    #   alpha * (shared_buffer - total lossless occupancy on the switch)
+    # clamped to [dt_floor_bytes, xoff_bytes], and XON tracks it at a
+    # fixed offset. As a switch's buffers fill, *all* its accounts pause
+    # earlier and resume later — the ratchet that lets production
+    # fabrics slide into deadlock without an external trigger.
+    dynamic_thresholds: bool = False
+    dt_alpha: float = 1.0
+    shared_buffer_bytes: int = 192 * 1024
+    dt_xon_offset_bytes: int = 16 * 1024
+    dt_floor_bytes: int = 8 * 1024
+    # ECN marking (for DCQCN-style congestion control). None = disabled;
+    # otherwise packets enqueued into an egress queue holding more than
+    # this many bytes are marked congestion-experienced.
+    ecn_threshold_bytes: Optional[int] = None
+
+    @property
+    def lossless_cap_bytes(self) -> int:
+        return self.xoff_bytes + self.headroom_bytes
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Serialization delay for a packet of ``size_bytes``."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    @staticmethod
+    def paper_testbed() -> "SimConfig":
+        """Parameters matching the paper's 40 Gb/s Arista testbed scale.
+
+        40x the default link rate, with thresholds/headroom scaled so the
+        PFC reaction headroom still covers the bandwidth-delay product
+        (~15 KB in flight during a 3 us pause response at 40 Gb/s).
+        Simulations at this rate are ~40x more expensive per simulated
+        second — use short horizons or ``REPRO_FULL`` benches.
+        """
+        return SimConfig(
+            bandwidth_bps=40e9,
+            prop_delay=1e-6,
+            pfc_delay=2e-6,
+            xoff_bytes=160 * 1024,
+            xon_bytes=96 * 1024,
+            headroom_bytes=192 * 1024,
+            lossy_cap_bytes=256 * 1024,
+        )

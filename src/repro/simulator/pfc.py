@@ -1,0 +1,83 @@
+"""Priority Flow Control state machines.
+
+Two small pieces:
+
+- :class:`PauseState` — per egress port, which priority queues are
+  currently paused by the downstream neighbor (set on PAUSE, cleared on
+  RESUME).
+- :class:`PfcLog` — a counter/log of PFC frames for metrics and for the
+  runtime deadlock detector (a deadlocked fabric shows sustained pause
+  with zero drain).
+
+PFC frames carry a priority; per the standard, each priority is paused
+independently. Queue 0 (lossy) never participates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.pipeline import LOSSY_QUEUE
+
+
+@dataclass
+class PauseState:
+    """Pause flags for one egress port (keyed by priority queue index)."""
+
+    paused: Set[int] = field(default_factory=set)
+
+    def pause(self, queue: int) -> None:
+        if queue != LOSSY_QUEUE:
+            self.paused.add(queue)
+
+    def resume(self, queue: int) -> None:
+        self.paused.discard(queue)
+
+    def is_paused(self, queue: int) -> bool:
+        return queue in self.paused
+
+    def any_paused(self) -> bool:
+        return bool(self.paused)
+
+
+@dataclass(frozen=True)
+class PfcEvent:
+    """One PAUSE or RESUME frame observed on a link."""
+
+    time: float
+    sender: str       # node that generated the frame (congested receiver)
+    receiver: str     # upstream node being paused/resumed
+    queue: int
+    pause: bool       # True = PAUSE, False = RESUME
+
+
+@dataclass
+class PfcLog:
+    """Accumulates PFC frames; queryable per link and per queue."""
+
+    events: List[PfcEvent] = field(default_factory=list)
+
+    def record(
+        self, time: float, sender: str, receiver: str, queue: int, pause: bool
+    ) -> None:
+        self.events.append(PfcEvent(time, sender, receiver, queue, pause))
+
+    @property
+    def pause_count(self) -> int:
+        return sum(1 for event in self.events if event.pause)
+
+    @property
+    def resume_count(self) -> int:
+        return sum(1 for event in self.events if not event.pause)
+
+    def pauses_by_link(self) -> Dict[Tuple[str, str], int]:
+        out: Dict[Tuple[str, str], int] = {}
+        for event in self.events:
+            if event.pause:
+                key = (event.sender, event.receiver)
+                out[key] = out.get(key, 0) + 1
+        return out
+
+    def pauses_since(self, time: float) -> int:
+        return sum(1 for e in self.events if e.pause and e.time >= time)

@@ -1,0 +1,153 @@
+"""The simulated switch: forwarding, Tagger pipeline, PFC reaction.
+
+Packet life inside a switch:
+
+1. arrival: TTL check, route lookup (flow-pinned next hop or forwarding
+   table with ECMP-by-flow-hash);
+2. ingress accounting against the (in_port, priority) PFC account, where
+   the priority is the *arriving* tag's queue (step 1 of the Tagger
+   pipeline); XOFF crossings pause the upstream neighbor;
+3. tag rewrite (step 2) and egress queue selection (step 3 — by the new
+   tag when ``decouple_egress``, by the old tag to reproduce the Fig. 8a
+   bug otherwise);
+4. egress FIFO; the PFC account is released only when the packet finishes
+   serializing out, and XON crossings resume the upstream neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.core.pipeline import LOSSY_QUEUE, PipelineConfig
+from repro.exceptions import RoutingError
+from repro.simulator.buffers import IngressAccounting
+from repro.simulator.metrics import (
+    DROP_LOSSLESS,
+    DROP_LOSSY,
+    DROP_NO_ROUTE,
+    DROP_TTL,
+)
+from repro.simulator.packet import Packet
+from repro.simulator.txport import TxPort
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+
+
+class SimSwitch:
+    """One switch instance inside a :class:`SimNetwork`."""
+
+    def __init__(
+        self,
+        net: "SimNetwork",
+        name: str,
+        pipeline: PipelineConfig,
+    ) -> None:
+        self.net = net
+        self.name = name
+        self.pipeline = pipeline
+        self.accounting = IngressAccounting(net.config)
+        self.tx_ports: Dict[int, TxPort] = {}
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        metrics = self.net.metrics
+        tracer = self.net.tracer
+        if tracer is not None:
+            self._trace(packet, "receive", f"in_port={in_port}")
+        packet.ttl -= 1
+        packet.hops += 1
+        if packet.ttl <= 0:
+            metrics.record_drop(DROP_TTL, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", DROP_TTL)
+            return
+
+        next_hop = self._next_hop(packet)
+        if next_hop is None:
+            metrics.record_drop(DROP_NO_ROUTE, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", DROP_NO_ROUTE)
+            return
+        out_port = self.net.topo.port_to(self.name, next_hop)
+
+        in_queue = self.pipeline.classify_ingress(packet.tag)
+        crossing = self.accounting.charge(in_port, in_queue, packet.size)
+        if not crossing.accepted:
+            reason = DROP_LOSSY if in_queue == LOSSY_QUEUE else DROP_LOSSLESS
+            metrics.record_drop(reason, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", reason)
+            return
+        if crossing.send_pause:
+            self.net.send_pfc(self.name, in_port, in_queue, pause=True)
+
+        old_tag = packet.tag
+        if self.net.topo.node(next_hop).is_host:
+            # Delivery hop: keep the tag onto the host link. (Plans built
+            # from switch-level ELP paths have no host-egress rules; the
+            # safeguard default must not demote deliveries.)
+            new_tag = old_tag
+        else:
+            new_tag = self.pipeline.rewrite(old_tag, in_port, out_port)
+        egress_queue = self.pipeline.classify_egress(old_tag, new_tag)
+        packet.tag = new_tag
+        packet.in_port = in_port
+        packet.in_queue = in_queue
+        if self.net.tracer is not None:
+            self._trace(
+                packet,
+                "forward",
+                f"-> {next_hop} tag {old_tag}->{new_tag} q{egress_queue}",
+            )
+        self.tx_ports[out_port].enqueue(packet, egress_queue)
+
+    def _trace(self, packet: Packet, kind: str, detail: str) -> None:
+        self.net.tracer.record(
+            self.net.sim.now,
+            kind,
+            self.name,
+            flow_id=packet.flow_id,
+            packet_id=packet.packet_id,
+            tag=packet.tag,
+            detail=detail,
+        )
+
+    def _next_hop(self, packet: Packet) -> Optional[str]:
+        pinned = self.net.pinned_next_hop(
+            packet.flow_id, self.name, dst=packet.dst
+        )
+        if pinned is not None:
+            return pinned
+        try:
+            return self.net.table.next_hop(
+                self.name, packet.dst, flow_hash=packet.flow_id
+            )
+        except RoutingError:
+            return None
+
+    def on_sent(self, packet: Packet) -> None:
+        """Egress serialization finished: release the PFC account."""
+        assert packet.in_port is not None and packet.in_queue is not None
+        crossing = self.accounting.release(
+            packet.in_port, packet.in_queue, packet.size
+        )
+        if crossing.send_resume:
+            self.net.send_pfc(
+                self.name, packet.in_port, packet.in_queue, pause=False
+            )
+
+    # ------------------------------------------------------------------
+    # PFC control path (frames from downstream neighbors)
+    # ------------------------------------------------------------------
+    def on_pfc(self, port: int, queue: int, pause: bool) -> None:
+        tx = self.tx_ports[port]
+        if pause:
+            tx.on_pause(queue)
+        else:
+            tx.on_resume(queue)
+
+    def __repr__(self) -> str:
+        return f"SimSwitch({self.name}, buffered={self.accounting.total_bytes}B)"

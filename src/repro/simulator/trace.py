@@ -1,0 +1,172 @@
+"""Optional packet-event tracing and queue-occupancy sampling.
+
+Debugging a PFC fabric needs two views the aggregate metrics don't give:
+
+- :class:`PacketTracer` — a per-event log (receive / forward / deliver /
+  drop / pause / resume) with switch- and flow-filters, bounded by a
+  ring-buffer size so long runs don't exhaust memory;
+- :class:`QueueSampler` — periodic samples of selected ingress accounts
+  and egress queue depths, producing the buffer-occupancy time series
+  the paper-style analyses plot.
+
+Both attach to a :class:`~repro.simulator.network.SimNetwork` after
+construction and are pure observers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+
+#: Event kinds a tracer records.
+EV_RECEIVE = "receive"
+EV_FORWARD = "forward"
+EV_DELIVER = "deliver"
+EV_DROP = "drop"
+EV_PAUSE = "pause"
+EV_RESUME = "resume"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    time: float
+    kind: str
+    node: str
+    flow_id: Optional[int] = None
+    packet_id: Optional[int] = None
+    tag: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class PacketTracer:
+    """Bounded event log with optional flow/node filters.
+
+    Attach with :meth:`attach`; afterwards the network calls
+    :meth:`record` on every observable event. ``capacity`` bounds memory
+    (oldest events are evicted).
+    """
+
+    capacity: int = 10_000
+    flows: Optional[Sequence[int]] = None
+    nodes: Optional[Sequence[str]] = None
+    events: Deque[TraceEvent] = field(default_factory=deque)
+
+    def attach(self, net: "SimNetwork") -> "PacketTracer":
+        net.tracer = self
+        return self
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        node: str,
+        flow_id: Optional[int] = None,
+        packet_id: Optional[int] = None,
+        tag: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        if self.flows is not None and flow_id not in self.flows:
+            return
+        if self.nodes is not None and node not in self.nodes:
+            return
+        self.events.append(
+            TraceEvent(time, kind, node, flow_id, packet_id, tag, detail)
+        )
+        while len(self.events) > self.capacity:
+            self.events.popleft()
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def packet_journey(self, packet_id: int) -> List[TraceEvent]:
+        """All events of one packet, in order — its life story."""
+        return [e for e in self.events if e.packet_id == packet_id]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """One sampled occupancy point."""
+
+    time: float
+    switch: str
+    port: int
+    queue: int
+    ingress_bytes: int
+    egress_bytes: int
+    paused: bool
+
+
+@dataclass
+class QueueSampler:
+    """Periodic occupancy sampler for selected (switch, port, queue) spots.
+
+    ``spots`` are ``(switch, in_port_peer_or_port, queue)`` — the port may
+    be given as the neighbor's name (resolved once) or a port number.
+    """
+
+    net: "SimNetwork"
+    spots: Sequence[Tuple[str, object, int]]
+    period: float = 0.001
+    samples: List[QueueSample] = field(default_factory=list)
+    _resolved: List[Tuple[str, int, int]] = field(default_factory=list)
+    _installed: bool = False
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        for switch, port_spec, queue in self.spots:
+            if isinstance(port_spec, str):
+                port = self.net.topo.port_to(switch, port_spec)
+            else:
+                port = int(port_spec)  # type: ignore[arg-type]
+            self._resolved.append((switch, port, queue))
+        self.net.sim.schedule(self.period, self._tick)
+
+    def _tick(self) -> None:
+        now = self.net.sim.now
+        for switch_name, port, queue in self._resolved:
+            switch = self.net.switches[switch_name]
+            tx = switch.tx_ports.get(port)
+            self.samples.append(
+                QueueSample(
+                    time=now,
+                    switch=switch_name,
+                    port=port,
+                    queue=queue,
+                    ingress_bytes=switch.accounting.occupancy_of(port, queue),
+                    egress_bytes=tx.bytes_queued(queue) if tx else 0,
+                    paused=bool(tx and tx.pause.is_paused(queue)),
+                )
+            )
+        self.net.sim.schedule(self.period, self._tick)
+
+    def series(
+        self, switch: str, port: int, queue: int
+    ) -> List[Tuple[float, int, int, bool]]:
+        """(time, ingress_bytes, egress_bytes, paused) for one spot."""
+        return [
+            (s.time, s.ingress_bytes, s.egress_bytes, s.paused)
+            for s in self.samples
+            if s.switch == switch and s.port == port and s.queue == queue
+        ]
+
+    def peak_ingress(self, switch: str, port: int, queue: int) -> int:
+        return max(
+            (
+                s.ingress_bytes
+                for s in self.samples
+                if s.switch == switch and s.port == port and s.queue == queue
+            ),
+            default=0,
+        )

@@ -1,0 +1,173 @@
+"""Egress port machinery shared by switches and host NICs.
+
+A :class:`TxPort` owns the per-priority egress FIFOs of one physical
+port, the PFC pause flags set by the downstream neighbor, and the
+transmit loop (serialization delay + propagation delay). Scheduling among
+non-paused, non-empty priority queues is round-robin — close enough to
+the WRR commodity switches use, and free of starvation artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet, SimConfig
+from repro.simulator.pfc import PauseState
+
+DeliverFn = Callable[[Packet], None]
+SentFn = Callable[[Packet], None]
+
+
+class TxPort:
+    """One egress port: priority FIFOs + PFC pause state + tx loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimConfig,
+        owner: str,
+        port: int,
+        peer: str,
+        deliver: DeliverFn,
+        on_sent: Optional[SentFn] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.owner = owner
+        self.port = port
+        self.peer = peer
+        self._deliver = deliver
+        self._on_sent = on_sent
+        self.queues: Dict[int, Deque[Packet]] = {}
+        self.queued_bytes: Dict[int, int] = {}
+        self.pause = PauseState()
+        self.pause_started: Dict[int, float] = {}
+        self.busy = False
+        self.link_up = True
+        self._rr_last = -1
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------
+    # Enqueue / PFC
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, queue: int) -> None:
+        packet.egress_queue = queue
+        threshold = self.config.ecn_threshold_bytes
+        if (
+            threshold is not None
+            and self.queued_bytes.get(queue, 0) > threshold
+        ):
+            packet.ecn = True
+        self.queues.setdefault(queue, deque()).append(packet)
+        self.queued_bytes[queue] = self.queued_bytes.get(queue, 0) + packet.size
+        self._try_send()
+
+    def on_pause(self, queue: int) -> None:
+        if not self.pause.is_paused(queue):
+            self.pause_started[queue] = self.sim.now
+        self.pause.pause(queue)
+
+    def on_resume(self, queue: int) -> None:
+        self.pause.resume(queue)
+        self.pause_started.pop(queue, None)
+        self._try_send()
+
+    def paused_duration(self, queue: int) -> float:
+        """How long this queue has been continuously paused (0 if not)."""
+        started = self.pause_started.get(queue)
+        if started is None or not self.pause.is_paused(queue):
+            return 0.0
+        return self.sim.now - started
+
+    # ------------------------------------------------------------------
+    # Transmit loop
+    # ------------------------------------------------------------------
+    def _pick_queue(self) -> Optional[int]:
+        """Round-robin over non-empty, non-paused queues."""
+        candidates = sorted(
+            q
+            for q, fifo in self.queues.items()
+            if fifo and not self.pause.is_paused(q)
+        )
+        if not candidates:
+            return None
+        for q in candidates:
+            if q > self._rr_last:
+                return q
+        return candidates[0]
+
+    def set_link_state(self, up: bool) -> None:
+        """Bring the physical link up or down.
+
+        A down link transmits nothing; queued packets stay queued (they
+        drain if the link recovers — the owner typically drains them via
+        :meth:`drain_all` on failure instead).
+        """
+        self.link_up = up
+        if up:
+            self._try_send()
+
+    def drain_all(self) -> List[Packet]:
+        """Remove and return every queued packet (used on link failure)."""
+        drained: List[Packet] = []
+        for queue, fifo in self.queues.items():
+            while fifo:
+                packet = fifo.popleft()
+                self.queued_bytes[queue] -= packet.size
+                drained.append(packet)
+        return drained
+
+    def _try_send(self) -> None:
+        if self.busy or not self.link_up:
+            return
+        queue = self._pick_queue()
+        if queue is None:
+            return
+        packet = self.queues[queue].popleft()
+        self.queued_bytes[queue] -= packet.size
+        self._rr_last = queue
+        self.busy = True
+        tx_time = self.config.tx_time(packet.size)
+        self.sim.schedule(tx_time, lambda: self._complete(packet))
+
+    def _complete(self, packet: Packet) -> None:
+        self.busy = False
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        if self._on_sent is not None:
+            self._on_sent(packet)
+        self.sim.schedule(
+            self.config.prop_delay, lambda: self._deliver(packet)
+        )
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Introspection (metrics, deadlock detection)
+    # ------------------------------------------------------------------
+    def depth(self, queue: int) -> int:
+        return len(self.queues.get(queue, ()))
+
+    def bytes_queued(self, queue: Optional[int] = None) -> int:
+        if queue is not None:
+            return self.queued_bytes.get(queue, 0)
+        return sum(self.queued_bytes.values())
+
+    def blocked_queues(self) -> List[int]:
+        """Queues holding packets while paused by the downstream peer."""
+        return sorted(
+            q
+            for q, fifo in self.queues.items()
+            if fifo and self.pause.is_paused(q)
+        )
+
+    def held_packets(self, queue: int) -> List[Packet]:
+        return list(self.queues.get(queue, ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"TxPort({self.owner}:{self.port} -> {self.peer}, "
+            f"queued={self.bytes_queued()}B, paused={sorted(self.pause.paused)})"
+        )

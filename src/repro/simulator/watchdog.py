@@ -1,0 +1,126 @@
+"""PFC watchdog — the mitigation production fabrics actually deploy.
+
+Switch vendors ship a *PFC storm watchdog*: per egress queue, if the
+queue has been continuously paused (and non-empty) longer than a
+detection window, the switch assumes a pause storm or deadlock and starts
+discarding that queue's packets until the pause clears. It needs no
+global view — and that is also its weakness: it cannot tell a deadlock
+from an innocent long pause (e.g. a slow receiver NIC), so it destroys
+lossless traffic in situations Tagger rides through unharmed.
+
+Like :class:`~repro.simulator.recovery.DeadlockBreaker`, this is a
+baseline for comparison, not part of Tagger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.core.pipeline import LOSSY_QUEUE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+
+#: Drop reason recorded for packets discarded by the watchdog.
+DROP_WATCHDOG = "pfc_watchdog"
+
+QueueKey = Tuple[str, int, int]  # (switch, out_port, queue)
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One watchdog trigger."""
+
+    time: float
+    switch: str
+    port: int
+    queue: int
+    packets_dropped: int
+
+
+@dataclass
+class PfcWatchdog:
+    """Per-queue pause-storm watchdog.
+
+    Attributes:
+        net: The fabric to monitor.
+        detection_time: Continuous paused-and-backlogged duration that
+            triggers the watchdog for a queue.
+        poll: Scan period.
+        events: Log of storms (first trigger per episode; while an
+            episode persists, subsequent drained packets are added to
+            drops but not logged as new events).
+    """
+
+    net: "SimNetwork"
+    detection_time: float = 0.02
+    poll: float = 0.005
+    events: List[StormEvent] = field(default_factory=list)
+    _stalled_since: Dict[QueueKey, float] = field(default_factory=dict)
+    _storming: Dict[QueueKey, bool] = field(default_factory=dict)
+    _installed: bool = False
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        self.net.sim.schedule(self.poll, self._tick)
+
+    def _tick(self) -> None:
+        now = self.net.sim.now
+        for switch_name, switch in self.net.switches.items():
+            for port, tx in switch.tx_ports.items():
+                for queue in list(tx.queues):
+                    if queue == LOSSY_QUEUE:
+                        continue
+                    key = (switch_name, port, queue)
+                    if not tx.pause.is_paused(queue):
+                        self._storming.pop(key, None)
+                        continue
+                    # True continuous pause duration, not poll sampling:
+                    # ordinary congestion toggles pause every few hundred
+                    # microseconds and never accumulates a long episode.
+                    if tx.paused_duration(queue) < self.detection_time:
+                        continue
+                    if tx.depth(queue) == 0:
+                        continue
+                    dropped = self._discard(switch_name, tx, queue)
+                    if dropped and not self._storming.get(key, False):
+                        self._storming[key] = True
+                        self.events.append(
+                            StormEvent(
+                                time=now,
+                                switch=switch_name,
+                                port=port,
+                                queue=queue,
+                                packets_dropped=dropped,
+                            )
+                        )
+        self.net.sim.schedule(self.poll, self._tick)
+
+    def _discard(self, switch_name: str, tx, queue: int) -> int:
+        switch = self.net.switches[switch_name]
+        fifo = tx.queues.get(queue)
+        dropped = 0
+        while fifo:
+            packet = fifo.popleft()
+            tx.queued_bytes[queue] -= packet.size
+            self.net.metrics.record_drop(DROP_WATCHDOG, packet.flow_id)
+            crossing = switch.accounting.release(
+                packet.in_port, packet.in_queue, packet.size
+            )
+            if crossing.send_resume:
+                self.net.send_pfc(
+                    switch_name, packet.in_port, packet.in_queue, pause=False
+                )
+            dropped += 1
+        return dropped
+
+    @property
+    def storms(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_dropped(self) -> int:
+        return self.net.metrics.drops.get(DROP_WATCHDOG, 0)

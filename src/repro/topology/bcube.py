@@ -1,0 +1,163 @@
+"""BCube(n, k) builder (Guo et al., SIGCOMM 2009).
+
+BCube is server-centric: servers have ``k + 1`` ports and relay traffic;
+switches only connect servers. A ``BCube_k`` network with ``n``-port
+switches has ``n^(k+1)`` servers and ``(k + 1) * n^k`` switches, organized
+in ``k + 1`` levels. Server ``(a_k .. a_1 a_0)`` (digits base ``n``)
+connects, at level ``l``, to the level-``l`` switch identified by its
+address with digit ``l`` removed.
+
+The Tagger paper (§5.3) reports that Algorithm 2 achieves the optimal
+result for BCube without BCube-specific tuning: a k-level BCube with
+default (digit-correcting) routing needs only ``k`` tags.
+
+Servers are modelled as *switch-kind* nodes (they forward packets); name
+``V<digits>``. Level-``l`` switches are named ``W{l}_{index}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+
+def _digits(value: int, n: int, width: int) -> Tuple[int, ...]:
+    """Base-``n`` digits of ``value``, least significant first, fixed width."""
+    out = []
+    for _ in range(width):
+        out.append(value % n)
+        value //= n
+    return tuple(out)
+
+
+def server_name(digits: Tuple[int, ...]) -> str:
+    """Canonical server name from its address digits (LSB first)."""
+    return "V" + "".join(str(d) for d in reversed(digits))
+
+
+def switch_name(level: int, index: int) -> str:
+    return f"W{level}_{index}"
+
+
+def bcube(n: int, k: int) -> Topology:
+    """Build ``BCube_k`` with ``n``-port switches.
+
+    Args:
+        n: Switch port count (and digit base); ``n >= 2``.
+        k: Recursion level; ``k >= 0``. ``k = 0`` is one switch + n servers.
+    """
+    if n < 2:
+        raise TopologyError("BCube needs n >= 2")
+    if k < 0:
+        raise TopologyError("BCube needs k >= 0")
+
+    topo = Topology(name=f"bcube-{n}-{k}")
+    width = k + 1
+    num_servers = n ** width
+
+    servers: List[Tuple[int, ...]] = []
+    for value in range(num_servers):
+        digits = _digits(value, n, width)
+        servers.append(digits)
+        topo.add_switch(server_name(digits), layer=None)
+
+    # Level-l switch index: address with digit l removed, interpreted base n.
+    for level in range(width):
+        for sw_index in range(n ** k):
+            topo.add_switch(switch_name(level, sw_index), layer=None)
+        for digits in servers:
+            rest = digits[:level] + digits[level + 1:]
+            sw_index = 0
+            for position, digit in enumerate(rest):
+                sw_index += digit * (n ** position)
+            topo.add_link(server_name(digits), switch_name(level, sw_index))
+    return topo
+
+
+def bcube_servers(topo: Topology) -> List[str]:
+    """Server (relay) node names of a :func:`bcube` topology."""
+    return sorted(name for name in topo.switches if name.startswith("V"))
+
+
+def bcube_default_route(topo: Topology, n: int, k: int, src: str, dst: str) -> List[str]:
+    """Default single-path BCube routing: correct digits from level k to 0.
+
+    Returns the node path ``[src, switch, server, switch, ..., dst]``.
+    """
+    if src == dst:
+        return [src]
+    width = k + 1
+    src_digits = list(_server_digits(src, width))
+    dst_digits = list(_server_digits(dst, width))
+    path = [src]
+    current = src_digits
+    for level in range(k, -1, -1):
+        if current[level] == dst_digits[level]:
+            continue
+        nxt = list(current)
+        nxt[level] = dst_digits[level]
+        cur_name = server_name(tuple(current))
+        nxt_name = server_name(tuple(nxt))
+        # The level-`level` switch both servers share.
+        shared = [
+            peer
+            for peer in topo.neighbors(cur_name)
+            if peer.startswith(f"W{level}_") and topo.has_link(peer, nxt_name)
+        ]
+        if not shared:
+            raise TopologyError(
+                f"no level-{level} switch between {cur_name} and {nxt_name}"
+            )
+        path.append(shared[0])
+        path.append(nxt_name)
+        current = nxt
+    return path
+
+
+def _server_digits(name: str, width: int) -> Tuple[int, ...]:
+    if not name.startswith("V") or len(name) != width + 1:
+        raise TopologyError(f"{name!r} is not a BCube server of width {width}")
+    return tuple(int(c) for c in reversed(name[1:]))
+
+
+def bcube_rotated_route(
+    topo: Topology, n: int, k: int, src: str, dst: str, start_level: int
+) -> List[str]:
+    """Digit-correcting route with a rotated correction order.
+
+    BCube's multi-path routing (BSR) derives its k+1 parallel paths by
+    starting the digit correction at different levels; unlike the fixed
+    descending order of :func:`bcube_default_route`, mixing rotations
+    creates inter-level cycles, which is the regime where Tagger needs
+    more than one tag (paper §5.3).
+    """
+    if src == dst:
+        return [src]
+    width = k + 1
+    src_digits = list(_server_digits(src, width))
+    dst_digits = list(_server_digits(dst, width))
+    order = [(start_level - i) % width for i in range(width)]
+    path = [src]
+    current = src_digits
+    for level in order:
+        if current[level] == dst_digits[level]:
+            continue
+        nxt = list(current)
+        nxt[level] = dst_digits[level]
+        cur_name = server_name(tuple(current))
+        nxt_name = server_name(tuple(nxt))
+        shared = [
+            peer
+            for peer in topo.neighbors(cur_name)
+            if peer.startswith(f"W{level}_") and topo.has_link(peer, nxt_name)
+        ]
+        if not shared:
+            raise TopologyError(
+                f"no level-{level} switch between {cur_name} and {nxt_name}"
+            )
+        path.append(shared[0])
+        path.append(nxt_name)
+        current = nxt
+    return path

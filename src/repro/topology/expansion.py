@@ -1,0 +1,97 @@
+"""Incremental fabric expansion (paper §6, "Topology changes").
+
+"If a FatTree-like topology is expanded by adding new pods under existing
+spines (i.e. by using up empty ports on spine switches), none of the
+older switches need any rule changes."
+
+:func:`expand_clos` performs exactly that operation on a :func:`clos3`
+fabric; the accompanying test/bench verify the paper's claim by diffing
+the Clos tagger's materialized rules on pre-existing switches before and
+after the expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.clos import ClosParams, LEAF_LAYER, SPINE_LAYER, TOR_LAYER
+
+
+@dataclass(frozen=True)
+class ExpansionResult:
+    """What :func:`expand_clos` added."""
+
+    new_pods: int
+    new_leaves: List[str]
+    new_tors: List[str]
+    new_hosts: List[str]
+
+
+def expand_clos(
+    topo: Topology,
+    params: ClosParams,
+    extra_pods: int = 1,
+) -> ExpansionResult:
+    """Add ``extra_pods`` new pods under the existing spines, in place.
+
+    The new pods follow the same shape as the original fabric (leaves,
+    ToRs and hosts per ``params``) and attach only to the spines — no
+    existing link or port assignment is touched, so switch-local state
+    (including Tagger rules, which match on local port numbers) stays
+    valid on every pre-existing switch. Spines gain new ports, whose
+    rules are purely additive.
+
+    Names continue the original numbering (``L5``, ``T5``, ``H17``, ...).
+    """
+    if extra_pods < 1:
+        raise TopologyError("extra_pods must be >= 1")
+    spines = sorted(
+        topo.switches_at_layer(SPINE_LAYER),
+        key=lambda name: int(name[1:]),
+    )
+    if not spines:
+        raise TopologyError("no spine layer to expand under")
+
+    existing_leaves = topo.switches_at_layer(LEAF_LAYER)
+    existing_tors = topo.switches_at_layer(TOR_LAYER)
+    next_leaf = 1 + max((int(n[1:]) for n in existing_leaves), default=0)
+    next_tor = 1 + max((int(n[1:]) for n in existing_tors), default=0)
+    next_host = 1 + max(
+        (int(n[1:]) for n in topo.hosts), default=0
+    )
+
+    new_leaves: List[str] = []
+    new_tors: List[str] = []
+    new_hosts: List[str] = []
+    for _ in range(extra_pods):
+        pod_leaves = []
+        for _ in range(params.leaves_per_pod):
+            leaf = f"L{next_leaf}"
+            next_leaf += 1
+            topo.add_switch(leaf, layer=LEAF_LAYER)
+            for spine in spines:
+                topo.add_link(leaf, spine)
+            pod_leaves.append(leaf)
+            new_leaves.append(leaf)
+        for _ in range(params.tors_per_pod):
+            tor = f"T{next_tor}"
+            next_tor += 1
+            topo.add_switch(tor, layer=TOR_LAYER)
+            for leaf in pod_leaves:
+                topo.add_link(tor, leaf)
+            new_tors.append(tor)
+            for _ in range(params.hosts_per_tor):
+                host = f"H{next_host}"
+                next_host += 1
+                topo.add_host(host)
+                topo.add_link(host, tor)
+                new_hosts.append(host)
+    return ExpansionResult(
+        new_pods=extra_pods,
+        new_leaves=new_leaves,
+        new_tors=new_tors,
+        new_hosts=new_hosts,
+    )

@@ -1,0 +1,136 @@
+"""Link failure models.
+
+Data center networks fail constantly: the paper measures hundreds of
+up-down violations per day (§3.2, Table 1) caused by link failures and port
+flaps. This module provides deterministic and randomized failure schedules
+used by the reroute-probing measurement (Table 1) and by the deadlock
+scenarios (Figs 3 and 10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled link state change at an absolute time (seconds)."""
+
+    time: float
+    link: LinkKey
+    down: bool  # True = fail, False = restore
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered list of link up/down events.
+
+    Apply incrementally with :meth:`apply_until` as simulated time advances,
+    or all at once with :meth:`apply_all`.
+    """
+
+    events: List[FailureEvent] = field(default_factory=list)
+    _cursor: int = 0
+
+    def add(self, time: float, a: str, b: str, down: bool = True) -> None:
+        key = (a, b) if a <= b else (b, a)
+        self.events.append(FailureEvent(time=time, link=key, down=down))
+        self.events.sort(key=lambda e: e.time)
+        self._cursor = 0
+
+    def apply_until(self, topo: Topology, now: float) -> List[FailureEvent]:
+        """Apply every not-yet-applied event with ``time <= now``.
+
+        Returns the events applied, in order.
+        """
+        applied = []
+        while self._cursor < len(self.events):
+            event = self.events[self._cursor]
+            if event.time > now:
+                break
+            a, b = event.link
+            if event.down:
+                topo.fail_link(a, b)
+            else:
+                topo.restore_link(a, b)
+            applied.append(event)
+            self._cursor += 1
+        return applied
+
+    def apply_all(self, topo: Topology) -> List[FailureEvent]:
+        return self.apply_until(topo, float("inf"))
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class RandomLinkFailures:
+    """IID per-link failure sampler.
+
+    Every switch-to-switch link independently fails with probability
+    ``prob`` when :meth:`sample` is called. Host uplinks are excluded by
+    default — a failed host uplink disconnects the host rather than causing
+    a reroute, which is not the phenomenon Table 1 measures.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        prob: float,
+        include_host_links: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise TopologyError(f"failure probability out of range: {prob}")
+        self.topo = topo
+        self.prob = prob
+        self._rng = random.Random(seed)
+        self._candidates: List[LinkKey] = [
+            link.key
+            for link in topo.iter_links(include_failed=True)
+            if include_host_links
+            or (topo.node(link.a).is_switch and topo.node(link.b).is_switch)
+        ]
+
+    @property
+    def candidates(self) -> Sequence[LinkKey]:
+        return tuple(self._candidates)
+
+    def sample(self) -> Set[LinkKey]:
+        """Return a fresh set of failed links (does not touch the topology)."""
+        return {
+            key for key in self._candidates if self._rng.random() < self.prob
+        }
+
+    def apply_sample(self) -> Set[LinkKey]:
+        """Sample failures and apply them to the topology (clearing old ones)."""
+        self.topo.restore_all()
+        failed = self.sample()
+        for a, b in failed:
+            self.topo.fail_link(a, b)
+        return failed
+
+    def fail_exactly(self, count: int) -> Set[LinkKey]:
+        """Fail a uniform random set of exactly ``count`` candidate links."""
+        if count > len(self._candidates):
+            raise TopologyError(
+                f"cannot fail {count} of {len(self._candidates)} links"
+            )
+        self.topo.restore_all()
+        failed = set(self._rng.sample(self._candidates, count))
+        for a, b in failed:
+            self.topo.fail_link(a, b)
+        return failed
+
+
+def fail_links(topo: Topology, links: Iterable[Tuple[str, str]]) -> None:
+    """Convenience: fail a batch of links by endpoint pairs."""
+    for a, b in links:
+        topo.fail_link(a, b)

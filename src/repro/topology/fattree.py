@@ -1,0 +1,66 @@
+"""k-ary fat-tree builder (Al-Fares et al., SIGCOMM 2008).
+
+A k-ary fat-tree has k pods; each pod contains k/2 edge (ToR) switches and
+k/2 aggregation switches; there are (k/2)^2 core switches. Every edge switch
+serves k/2 hosts. The paper cites FatTree as one of the structured
+topologies for which enumerating expected lossless paths is straightforward
+(§1), and its up-down routing behaves exactly like the 3-layer Clos.
+
+Layers reuse the Clos constants: edge = 0, aggregation = 1, core = 2.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.topology.base import Topology
+from repro.topology.clos import LEAF_LAYER, SPINE_LAYER, TOR_LAYER
+
+
+def fattree(k: int, hosts_per_edge: int = None) -> Topology:
+    """Build a k-ary fat-tree. ``k`` must be even and >= 2.
+
+    Args:
+        k: Arity; the fabric has ``k`` pods and ``5k^2/4`` switches.
+        hosts_per_edge: Hosts per edge switch; defaults to ``k // 2``.
+
+    Naming: core ``C{i}``, aggregation ``A{pod}_{j}``, edge ``E{pod}_{j}``,
+    hosts ``H{n}`` (global 1-based numbering).
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+
+    topo = Topology(name=f"fattree-{k}")
+
+    # Core switches, arranged in `half` groups of `half` switches. Core
+    # group g connects to aggregation switch g of every pod.
+    cores = []
+    for group in range(half):
+        for idx in range(half):
+            core = f"C{group * half + idx + 1}"
+            topo.add_switch(core, layer=SPINE_LAYER)
+            cores.append((group, core))
+
+    host_index = 1
+    for pod in range(k):
+        aggs = []
+        for j in range(half):
+            agg = f"A{pod}_{j}"
+            topo.add_switch(agg, layer=LEAF_LAYER)
+            aggs.append(agg)
+            for group, core in cores:
+                if group == j:
+                    topo.add_link(agg, core)
+        for j in range(half):
+            edge = f"E{pod}_{j}"
+            topo.add_switch(edge, layer=TOR_LAYER)
+            for agg in aggs:
+                topo.add_link(edge, agg)
+            for _ in range(hosts_per_edge):
+                host = f"H{host_index}"
+                host_index += 1
+                topo.add_host(host)
+                topo.add_link(host, edge)
+    return topo

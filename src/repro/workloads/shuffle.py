@@ -1,0 +1,46 @@
+"""Shuffle workloads (paper Fig. 12).
+
+The PAUSE-propagation experiment runs a many-to-one data shuffle into one
+host and a one-to-many shuffle out of another, then reroutes two of the
+flows onto 1-bounce paths; the resulting deadlock's PAUSE frames
+propagate until every flow is frozen. These helpers build the flow sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import SimulationError
+from repro.simulator.flow import Flow
+
+
+def many_to_one(
+    sources: Sequence[str],
+    sink: str,
+    start: float = 0.0,
+    packet_size: int = 4096,
+    window: int = 8,
+) -> List[Flow]:
+    """A shuffle of one flow from each source into ``sink``."""
+    if sink in sources:
+        raise SimulationError("sink cannot also be a source")
+    return [
+        Flow(src=src, dst=sink, start=start, packet_size=packet_size, window=window)
+        for src in sources
+    ]
+
+
+def one_to_many(
+    source: str,
+    sinks: Sequence[str],
+    start: float = 0.0,
+    packet_size: int = 4096,
+    window: int = 8,
+) -> List[Flow]:
+    """A shuffle of one flow from ``source`` to each sink."""
+    if source in sinks:
+        raise SimulationError("source cannot also be a sink")
+    return [
+        Flow(src=source, dst=dst, start=start, packet_size=packet_size, window=window)
+        for dst in sinks
+    ]

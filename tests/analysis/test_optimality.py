@@ -1,0 +1,54 @@
+"""Tests for the §4.4 optimality argument."""
+
+import pytest
+
+from repro.analysis import (
+    clos_tagger_is_optimal,
+    find_pigeonhole_cbd,
+    min_lossless_priorities,
+    witness_path_hops,
+)
+from repro.exceptions import TaggingError
+
+
+class TestWitnessPath:
+    def test_traversal_counts(self):
+        for k in (0, 1, 3):
+            hops = witness_path_hops(k)
+            downs = [h for h in hops if h == ("L", "T")]
+            assert len(downs) == k + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(TaggingError):
+            witness_path_hops(-1)
+
+
+class TestPigeonhole:
+    def test_k_priorities_always_repeat(self):
+        for k in (1, 2, 3, 5):
+            # Any surjection onto k values over k+1 slots repeats.
+            assignment = [i % k for i in range(k + 1)]
+            assert find_pigeonhole_cbd(assignment, k) is not None
+
+    def test_k_plus_one_distinct_is_safe(self):
+        k = 3
+        assert find_pigeonhole_cbd([1, 2, 3, 4], k) is None
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TaggingError):
+            find_pigeonhole_cbd([1, 2], 3)
+
+    def test_repeat_indices_reported(self):
+        repeated = find_pigeonhole_cbd([1, 2, 1], 2)
+        assert repeated == (0, 2)
+
+
+class TestLowerBound:
+    def test_bound_values(self):
+        assert min_lossless_priorities(0) == 1
+        assert min_lossless_priorities(1) == 2
+        assert min_lossless_priorities(4) == 5
+
+    def test_clos_tagger_meets_bound(self):
+        for k in (0, 1, 2, 3):
+            assert clos_tagger_is_optimal(k)

@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's testbed topology and friends."""
+
+import pytest
+
+from repro.topology import ClosParams, Topology, clos3, testbed_clos
+
+
+@pytest.fixture
+def testbed() -> Topology:
+    """The paper's 8-switch / 16-host Clos testbed (Fig. 2)."""
+    return testbed_clos()
+
+
+@pytest.fixture
+def small_clos() -> Topology:
+    """A 1-host-per-ToR Clos, cheap for algorithm tests."""
+    return clos3(ClosParams(hosts_per_tor=1))
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """Fig. 1's contrived 3-switch ring with one host per switch."""
+    topo = Topology(name="triangle")
+    for name in ("A", "B", "C"):
+        topo.add_switch(name, layer=0)
+    topo.add_link("A", "B")
+    topo.add_link("B", "C")
+    topo.add_link("C", "A")
+    for name in ("A", "B", "C"):
+        host = f"H{name}"
+        topo.add_host(host)
+        topo.add_link(host, name)
+    return topo
+
+
+# Paper Fig. 3's two 1-bounce paths on the testbed: green bounces at L1,
+# blue bounces at L3, together forming the CBD L1->S1->L3->S2->L1.
+GREEN_BOUNCE_PATH = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE_BOUNCE_PATH = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+@pytest.fixture
+def bounce_paths():
+    return GREEN_BOUNCE_PATH, BLUE_BOUNCE_PATH

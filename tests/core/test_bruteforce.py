@@ -1,0 +1,78 @@
+"""Tests for Algorithm 1 (brute-force tagging)."""
+
+import pytest
+
+from repro.core import (
+    bruteforce_tagging,
+    clos_updown_elp,
+    longest_path_hops,
+    verify_tagged_graph,
+)
+from repro.exceptions import TaggingError
+
+
+class TestAlgorithm1:
+    def test_tags_equal_hop_positions(self, testbed):
+        graph = bruteforce_tagging(testbed, [("T1", "L1", "S1", "L3", "T3")])
+        # Ingress hops: L1, S1, L3, T3 at tags 1..4.
+        assert graph.num_nodes == 4
+        assert graph.tags() == [1, 2, 3, 4]
+        for (switch, _), tag in graph.nodes:
+            expected = {"L1": 1, "S1": 2, "L3": 3, "T3": 4}[switch]
+            assert tag == expected
+
+    def test_edges_increment_by_one(self, testbed):
+        graph = bruteforce_tagging(testbed, clos_updown_elp(testbed))
+        for src, dst in graph.edges():
+            assert dst[1] == src[1] + 1
+
+    def test_per_tag_subgraphs_have_no_edges(self, testbed):
+        """R1 holds trivially: no same-tag edges at all."""
+        graph = bruteforce_tagging(testbed, clos_updown_elp(testbed))
+        for tag in graph.tags():
+            assert graph.tag_subgraph_edges(tag) == []
+        assert verify_tagged_graph(graph).deadlock_free
+
+    def test_tag_count_equals_longest_path(self, testbed):
+        elp = clos_updown_elp(testbed)
+        graph = bruteforce_tagging(testbed, elp)
+        assert graph.max_tag == longest_path_hops(testbed, elp)
+        assert graph.max_tag == 4  # T-L-S-L-T has 4 ingress hops
+
+    def test_shared_hops_merge_nodes(self, testbed):
+        # Two paths sharing (L1 from T1) at the same position share a node.
+        graph = bruteforce_tagging(
+            testbed,
+            [("T1", "L1", "S1", "L3", "T3"), ("T1", "L1", "S2", "L3", "T3")],
+        )
+        l1_nodes = [n for n in graph.nodes if n[0][0] == "L1"]
+        assert len(l1_nodes) == 1
+
+    def test_same_port_different_positions_distinct_nodes(self, testbed):
+        graph = bruteforce_tagging(
+            testbed,
+            [
+                ("T1", "L1", "S1", "L3", "T3"),  # S1 from L1 at tag 2
+                ("T2", "L2", "S1", "L3", "T3"),  # S1 from L2 at tag 2
+                ("L1", "S1", "L3", "T3"),        # S1 from L1 at tag 1
+            ],
+        )
+        s1_nodes = sorted(n for n in graph.nodes if n[0][0] == "S1")
+        tags = [tag for (_, tag) in s1_nodes]
+        assert 1 in tags and 2 in tags
+
+    def test_host_paths_include_tor_ingress(self, testbed):
+        graph = bruteforce_tagging(testbed, [("H1", "T1", "L1", "T2", "H5")])
+        first = [n for n in graph.nodes if n[1] == 1]
+        assert len(first) == 1
+        (switch, port), _ = first[0]
+        assert switch == "T1"
+        assert testbed.peer_on_port(switch, port) == "H1"
+
+    def test_looping_path_rejected(self, testbed):
+        with pytest.raises(TaggingError, match="revisits"):
+            bruteforce_tagging(testbed, [("T1", "L1", "T1")])
+
+    def test_empty_elp_rejected(self, testbed):
+        with pytest.raises(TaggingError, match="empty"):
+            bruteforce_tagging(testbed, [])

@@ -1,0 +1,110 @@
+"""Tests for TCAM bitmap compression (paper §7, Fig. 9)."""
+
+import pytest
+
+from repro.core import (
+    ClosTagger,
+    MatchActionRule,
+    RuleTable,
+    compress_in_ports,
+    compress_joint,
+    compression_stats,
+    expand,
+    materialize_policy_rules,
+)
+from repro.core.compression import TcamEntry
+from repro.exceptions import RuleError
+
+
+def make_rules():
+    """The Fig. 9 example: three rules differing only in InPort."""
+    return [
+        MatchActionRule(tag=1, in_port=1, out_port=0, new_tag=1),
+        MatchActionRule(tag=1, in_port=2, out_port=0, new_tag=1),
+        MatchActionRule(tag=1, in_port=3, out_port=0, new_tag=1),
+    ]
+
+
+class TestInPortAggregation:
+    def test_fig9_compresses_to_one_entry(self):
+        entries = compress_in_ports(make_rules())
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.in_ports == frozenset({1, 2, 3})
+        assert entry.out_ports == frozenset({0})
+
+    def test_different_actions_not_merged(self):
+        rules = make_rules() + [MatchActionRule(1, 4, 0, 2)]
+        entries = compress_in_ports(rules)
+        assert len(entries) == 2
+
+    def test_round_trip(self):
+        rules = sorted(make_rules(), key=lambda r: r.key)
+        assert expand(compress_in_ports(rules)) == rules
+
+
+class TestJointAggregation:
+    def test_cross_product_merges(self):
+        rules = [
+            MatchActionRule(1, i, o, 1) for i in (1, 2) for o in (3, 4)
+        ]
+        joint = compress_joint(rules)
+        assert len(joint) == 1
+        assert joint[0].in_ports == frozenset({1, 2})
+        assert joint[0].out_ports == frozenset({3, 4})
+
+    def test_non_product_stays_split(self):
+        rules = [
+            MatchActionRule(1, 1, 3, 1),
+            MatchActionRule(1, 2, 4, 1),
+        ]
+        joint = compress_joint(rules)
+        assert len(joint) == 2
+
+    def test_round_trip_on_real_tables(self, testbed):
+        tagger = ClosTagger(testbed, max_bounces=1)
+        for switch in testbed.switches:
+            table = materialize_policy_rules(
+                testbed, switch, tagger.rewrite, tags=[1, 2]
+            )
+            rules = table.as_rules()
+            assert expand(compress_joint(rules)) == rules
+            assert expand(compress_in_ports(rules)) == rules
+
+    def test_monotone_improvement(self, testbed):
+        tagger = ClosTagger(testbed, max_bounces=1)
+        for switch in ("T1", "L1", "S1"):
+            table = materialize_policy_rules(
+                testbed, switch, tagger.rewrite, tags=[1, 2]
+            )
+            stats = compression_stats(table)
+            assert (
+                stats.joint_aggregated
+                <= stats.in_port_aggregated
+                <= stats.uncompressed
+            )
+            assert 0 < stats.ratio <= 1
+
+
+class TestTcamEntry:
+    def test_matches(self):
+        entry = TcamEntry(1, frozenset({1, 2}), frozenset({0}), 1)
+        assert entry.matches(1, 1, 0)
+        assert not entry.matches(2, 1, 0)
+        assert not entry.matches(1, 3, 0)
+        assert entry.covered_rules == 2
+
+    def test_bitmaps(self):
+        entry = TcamEntry(1, frozenset({0, 2}), frozenset({1}), 1)
+        assert entry.in_port_bitmap(4) == 0b0101
+        assert entry.out_port_bitmap(4) == 0b0010
+        with pytest.raises(RuleError, match="exceeds"):
+            entry.in_port_bitmap(2)
+
+    def test_expand_rejects_ambiguity(self):
+        entries = [
+            TcamEntry(1, frozenset({1}), frozenset({0}), 1),
+            TcamEntry(1, frozenset({1}), frozenset({0}), 2),
+        ]
+        with pytest.raises(RuleError, match="ambiguous"):
+            expand(entries)

@@ -1,0 +1,83 @@
+"""Tests for ELP set construction."""
+
+import pytest
+
+from repro.core import (
+    ElpSet,
+    bcube_elp,
+    clos_bounce_elp,
+    clos_updown_elp,
+    jellyfish_elp,
+    shortest_path_elp,
+)
+from repro.exceptions import TaggingError
+from repro.routing import count_bounces, is_loop_free, validate_path
+from repro.topology import bcube, jellyfish
+
+
+class TestElpSet:
+    def test_add_validates(self, testbed):
+        elp = ElpSet(testbed)
+        elp.add(("T1", "L1", "S1"))
+        assert len(elp) == 1
+        with pytest.raises(Exception):
+            elp.add(("T1", "S1"))  # no such link
+
+    def test_loops_rejected(self, testbed):
+        elp = ElpSet(testbed)
+        with pytest.raises(TaggingError, match="loop-free"):
+            elp.add(("T1", "L1", "T1"))
+
+    def test_dedupe(self, testbed):
+        elp = ElpSet(testbed)
+        elp.add(("T1", "L1"))
+        elp.add(("T1", "L1"))
+        elp.dedupe()
+        assert len(elp) == 1
+
+    def test_longest_hops(self, testbed):
+        elp = ElpSet(testbed)
+        elp.add(("T1", "L1"))
+        elp.add(("T1", "L1", "S1", "L3"))
+        assert elp.longest_hops() == 3
+        assert ElpSet(testbed).longest_hops() == 0
+
+    def test_failed_links_allowed(self, testbed):
+        """ELP membership is about intent, not current link state."""
+        testbed.fail_link("T1", "L1")
+        elp = ElpSet(testbed)
+        elp.add(("T1", "L1", "S1"))
+
+
+class TestBuilders:
+    def test_clos_updown(self, testbed):
+        elp = clos_updown_elp(testbed)
+        assert len(elp) == 72
+        assert all(count_bounces(testbed, p) == 0 for p in elp)
+
+    def test_clos_bounce(self, testbed):
+        elp = clos_bounce_elp(testbed, 1)
+        counts = {count_bounces(testbed, p) for p in elp}
+        assert counts == {0, 1}
+
+    def test_shortest_path_elp(self):
+        topo = jellyfish(12, 6, hosts_per_switch=0, seed=4)
+        elp = shortest_path_elp(topo)
+        assert len(elp) == 12 * 11
+        for path in elp:
+            assert is_loop_free(path)
+
+    def test_jellyfish_extra_paths(self):
+        topo = jellyfish(12, 6, hosts_per_switch=0, seed=4)
+        base = jellyfish_elp(topo)
+        extra = jellyfish_elp(topo, extra_random_paths=20)
+        assert len(extra) >= len(base)
+        assert "random" in extra.description
+
+    def test_bcube_elp_routes(self):
+        topo = bcube(3, 1)
+        elp = bcube_elp(topo, 3, 1)
+        assert len(elp) == 9 * 8
+        for path in elp:
+            validate_path(topo, path)
+            assert is_loop_free(path)

@@ -1,0 +1,153 @@
+"""Tests for express links and the phase-ordered Flyways tagger (§6)."""
+
+import pytest
+
+from repro.core import ClosTagger, FlywaysTagger, verify_tagged_graph
+from repro.exceptions import TaggingError, TopologyError
+from repro.topology import (
+    add_express_link,
+    express_links,
+    jellyfish,
+    reconfigure_express,
+    testbed_clos,
+)
+
+
+@pytest.fixture
+def express_fabric(testbed):
+    add_express_link(testbed, "T1", "T3")
+    add_express_link(testbed, "T2", "T4")
+    add_express_link(testbed, "T1", "T4")
+    return testbed
+
+
+class TestExpressTopology:
+    def test_add_and_list(self, testbed):
+        add_express_link(testbed, "T1", "T3")
+        assert express_links(testbed) == [("T1", "T3")]
+
+    def test_same_layer_required(self, testbed):
+        with pytest.raises(TopologyError, match="SAME layer"):
+            add_express_link(testbed, "T1", "L1")
+
+    def test_switches_required(self, testbed):
+        with pytest.raises(TopologyError):
+            add_express_link(testbed, "H1", "T1")
+
+    def test_reconfigure(self, testbed):
+        add_express_link(testbed, "T1", "T3")
+        created = reconfigure_express(
+            testbed, remove=[("T1", "T3")], add=[("T2", "T4")]
+        )
+        assert [link.key for link in created] == [("T2", "T4")]
+        assert testbed.is_failed("T1", "T3")
+        # Re-adding a removed circuit restores it instead of duplicating.
+        reconfigure_express(testbed, add=[("T1", "T3")])
+        assert not testbed.is_failed("T1", "T3")
+
+
+class TestPhaseOrder:
+    def test_updown_behaviour_matches_clos_tagger(self, testbed):
+        """On a pure Clos (no express links) the phase rule degenerates
+        to the classic bounce rule."""
+        flyways = FlywaysTagger(testbed, max_increments=1)
+        clos = ClosTagger(testbed, max_bounces=1)
+        for path in (
+            ("H1", "T1", "L1", "S1", "L3", "T3", "H9"),
+            ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2"),
+        ):
+            assert flyways.tag_along_path(path) == clos.tag_along_path(path)
+
+    def test_single_express_hop_free(self, express_fabric):
+        tagger = FlywaysTagger(express_fabric, max_increments=2)
+        assert tagger.tag_along_path(("H1", "T1", "T3", "H9")) == [1, 1, 1]
+
+    def test_down_then_express_increments(self, express_fabric):
+        tagger = FlywaysTagger(express_fabric, max_increments=2)
+        tags = tagger.tag_along_path(("H5", "T2", "L1", "T1", "T3", "H9"))
+        assert tags == [1, 1, 1, 2, 2]
+
+    def test_express_then_up_increments(self, express_fabric):
+        tagger = FlywaysTagger(express_fabric, max_increments=2)
+        tags = tagger.tag_along_path(("H1", "T1", "T3", "L3", "T4", "H13"))
+        assert tags == [1, 1, 2, 2, 2]
+
+    def test_consecutive_express_hops_increment(self, express_fabric):
+        tagger = FlywaysTagger(express_fabric, max_increments=2)
+        # T3 -> T1 -> T4 uses two express hops back to back.
+        tags = tagger.tag_along_path(("H9", "T3", "T1", "T4", "H13"))
+        assert tags == [1, 1, 2, 2]
+
+    def test_budget_exhaustion_demotes(self, express_fabric):
+        tagger = FlywaysTagger(express_fabric, max_increments=0)
+        assert not tagger.path_stays_lossless(
+            ("H5", "T2", "L1", "T1", "T3", "H9")
+        )
+        assert tagger.path_stays_lossless(("H1", "T1", "T3", "H9"))
+
+
+class TestSafety:
+    def test_flyways_graph_verifies_for_all_budgets(self, express_fabric):
+        for k in (0, 1, 2, 3):
+            tagger = FlywaysTagger(express_fabric, max_increments=k)
+            report = verify_tagged_graph(tagger.tagged_graph())
+            assert report.deadlock_free
+            assert report.num_tags == k + 1
+
+    def test_plain_clos_tagger_is_unsafe_with_express_links(self, express_fabric):
+        """The motivation: the up-down bounce rule misses flat hops, and
+        the generic verifier catches the resulting per-tag cycle."""
+        report = verify_tagged_graph(
+            ClosTagger(express_fabric, max_bounces=1).tagged_graph()
+        )
+        assert not report.deadlock_free
+        assert report.tag_cycle is not None
+
+    def test_simulated_express_traffic_safe(self, express_fabric):
+        from repro.core.pipeline import QueueMap
+        from repro.core.planner import TaggerPlan
+        from repro.core.rules import materialize_policy_rules
+        from repro.routing import shortest_path_tables
+        from repro.simulator import Flow, SimNetwork, is_deadlocked
+
+        tagger = FlywaysTagger(express_fabric, max_increments=2)
+        tags = list(range(1, tagger.max_lossless_tag + 1))
+        tables = {
+            switch: materialize_policy_rules(
+                express_fabric, switch, tagger.rewrite, tags
+            )
+            for switch in express_fabric.switches
+        }
+        plan = TaggerPlan(
+            topo=express_fabric,
+            graph=tagger.tagged_graph(),
+            tables=tables,
+            queue_map=QueueMap.identity(tagger.num_lossless_tags),
+            description="flyways k=2",
+        )
+        net = SimNetwork.with_plan(
+            express_fabric, shortest_path_tables(express_fabric), plan
+        )
+        # Shortest-path routing now prefers the express links for the
+        # connected ToR pairs (H1 -> H9 crosses T1-T3 directly).
+        flows = [
+            net.add_flow(Flow(src="H1", dst="H9", flow_id=9301)),
+            net.add_flow(Flow(src="H9", dst="H1", flow_id=9302)),
+            net.add_flow(Flow(src="H5", dst="H13", flow_id=9303)),
+        ]
+        net.at(0.03, lambda: net.set_receiver_rate("H9", 3e7))
+        net.at(0.06, lambda: net.set_receiver_rate("H9", None))
+        net.run(0.15)
+        assert not is_deadlocked(net)
+        assert net.metrics.drops.get("lossless_overflow", 0) == 0
+        for flow in flows:
+            assert net.metrics.mean_rate(flow.flow_id, 0.1, 0.15) > 1e8
+
+    def test_unlayered_rejected(self):
+        topo = jellyfish(8, 4, hosts_per_switch=0, seed=1)
+        with pytest.raises(TaggingError):
+            FlywaysTagger(topo)
+
+    def test_negative_budget_rejected(self, testbed):
+        with pytest.raises(TaggingError):
+            FlywaysTagger(testbed, max_increments=-1)

@@ -1,0 +1,63 @@
+"""Tests for the 3-step pipeline configuration (paper §7)."""
+
+import pytest
+
+from repro.core import (
+    LOSSY_QUEUE,
+    LOSSY_TAG,
+    MatchActionRule,
+    PipelineConfig,
+    QueueMap,
+    RuleTable,
+)
+from repro.exceptions import CapacityError
+
+
+class TestQueueMap:
+    def test_identity_mapping(self):
+        qmap = QueueMap.identity(3)
+        assert qmap.queue_for(1) == 1
+        assert qmap.queue_for(3) == 3
+        assert qmap.num_lossless_queues == 3
+
+    def test_unknown_tag_goes_lossy(self):
+        qmap = QueueMap.identity(2)
+        assert qmap.queue_for(5) == LOSSY_QUEUE
+        assert qmap.queue_for(LOSSY_TAG) == LOSSY_QUEUE
+        assert not qmap.is_lossless(5)
+        assert qmap.is_lossless(2)
+
+    def test_capacity_enforced(self):
+        """Paper §3.3: switches support only a few lossless queues."""
+        with pytest.raises(CapacityError):
+            QueueMap.identity(9)
+        with pytest.raises(CapacityError):
+            QueueMap.identity(3, max_lossless_queues=2)
+        QueueMap.identity(2, max_lossless_queues=2)  # boundary ok
+
+
+class TestPipelineConfig:
+    def make_pipeline(self, decouple=True):
+        table = RuleTable(switch="B")
+        table.add(MatchActionRule(tag=1, in_port=0, out_port=1, new_tag=2))
+        return PipelineConfig(
+            rule_table=table,
+            queue_map=QueueMap.identity(2),
+            decouple_egress=decouple,
+        )
+
+    def test_three_steps(self):
+        pipeline = self.make_pipeline()
+        assert pipeline.classify_ingress(1) == 1          # step 1
+        assert pipeline.rewrite(1, 0, 1) == 2             # step 2
+        assert pipeline.classify_egress(1, 2) == 2        # step 3 (Fig. 8b)
+
+    def test_coupled_egress_reproduces_fig8a(self):
+        """Without decoupling, the egress queue follows the OLD tag."""
+        pipeline = self.make_pipeline(decouple=False)
+        assert pipeline.classify_egress(1, 2) == 1
+
+    def test_unmatched_rewrite_demotes(self):
+        pipeline = self.make_pipeline()
+        assert pipeline.rewrite(2, 0, 1) == LOSSY_TAG
+        assert pipeline.classify_egress(2, LOSSY_TAG) == LOSSY_QUEUE

@@ -1,0 +1,127 @@
+"""Tests for the high-level TaggerPlan API."""
+
+import pytest
+
+from repro.core import (
+    TaggerPlan,
+    TrafficClass,
+    clos_bounce_elp,
+    clos_updown_elp,
+)
+from repro.exceptions import CapacityError, TaggingError
+from repro.routing import all_bounce_paths
+
+
+class TestForClos:
+    def test_k_plus_one_queues(self, testbed):
+        for k in (0, 1, 2):
+            plan = TaggerPlan.for_clos(testbed, max_bounces=k)
+            assert plan.num_lossless_queues == k + 1
+            assert plan.verify().deadlock_free
+
+    def test_covers_bounce_elp(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        assert plan.coverage(clos_bounce_elp(testbed, 1)) == 1.0
+
+    def test_demotes_over_budget(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=0)
+        one_bounce = [
+            p
+            for p in all_bounce_paths(testbed, 1, endpoints=["T1", "T3"])
+            if p not in set(all_bounce_paths(testbed, 0, endpoints=["T1", "T3"]))
+        ]
+        assert plan.coverage(one_bounce) == 0.0
+
+    def test_policy_backed_tables(self, testbed):
+        lazy = TaggerPlan.for_clos(testbed, max_bounces=1, materialize=False)
+        eager = TaggerPlan.for_clos(testbed, max_bounces=1, materialize=True)
+        elp = clos_bounce_elp(testbed, 1)
+        assert lazy.coverage(elp) == eager.coverage(elp) == 1.0
+        assert lazy.total_rules == 0  # functional policy, no TCAM entries
+
+    def test_pipeline_config(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        config = plan.pipeline_config("L1")
+        assert config.decouple_egress
+        in_port = testbed.port_to("L1", "S2")
+        out_port = testbed.port_to("L1", "S1")
+        assert config.rewrite(1, in_port, out_port) == 2
+
+    def test_pipeline_config_for_unknown_switch_is_default_deny(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        config = plan.pipeline_config("nonexistent")
+        from repro.core import LOSSY_TAG
+
+        assert config.rewrite(1, 0, 1) == LOSSY_TAG
+
+    def test_summary_mentions_queues(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        assert "2 lossless queue(s)" in plan.summary()
+
+
+class TestFromElp:
+    def test_modes(self, testbed):
+        elp = clos_bounce_elp(testbed, 1)
+        det = TaggerPlan.from_elp(testbed, elp, minimize="deterministic")
+        paper = TaggerPlan.from_elp(testbed, elp, minimize="paper")
+        off = TaggerPlan.from_elp(testbed, elp, minimize="off")
+        assert det.num_lossless_queues == 3
+        assert paper.num_lossless_queues == 3
+        assert off.num_lossless_queues == 8
+        assert det.coverage(elp) == 1.0
+        assert off.coverage(elp) == 1.0
+        assert paper.coverage(elp) < 1.0  # documented Algorithm 2 defect
+
+    def test_unknown_mode(self, testbed):
+        with pytest.raises(TaggingError, match="unknown minimize"):
+            TaggerPlan.from_elp(testbed, clos_updown_elp(testbed), minimize="x")
+
+    def test_capacity_error_when_tags_exceed_queues(self, testbed):
+        elp = clos_bounce_elp(testbed, 1)
+        with pytest.raises(CapacityError):
+            TaggerPlan.from_elp(testbed, elp, max_lossless_queues=2)
+
+    def test_verify_report(self, testbed):
+        plan = TaggerPlan.from_elp(testbed, clos_updown_elp(testbed))
+        report = plan.verify()
+        assert report.deadlock_free and report.num_tags == 1
+
+    def test_coverage_empty_paths_rejected(self, testbed):
+        plan = TaggerPlan.from_elp(testbed, clos_updown_elp(testbed))
+        with pytest.raises(TaggingError):
+            plan.coverage([])
+
+
+class TestFitToQueues:
+    def test_plan_level_fusion(self, testbed):
+        elp = clos_updown_elp(testbed)
+        plan = TaggerPlan.from_elp(testbed, elp, minimize="off")
+        assert plan.num_lossless_queues == 4
+        fused = plan.fit_to_queues(2)
+        assert fused.num_lossless_queues == 2
+        assert fused.verify().deadlock_free
+        assert fused.coverage(elp) == 1.0
+
+    def test_fusion_refuses_impossible_budget(self, testbed):
+        from repro.core import clos_bounce_elp
+
+        plan = TaggerPlan.from_elp(testbed, clos_bounce_elp(testbed, 1))
+        with pytest.raises(CapacityError):
+            plan.fit_to_queues(2)  # the Fig. 6 structural gap
+
+
+class TestMulticlassPlan:
+    def test_m_plus_n_queues(self, testbed):
+        plan = TaggerPlan.for_multiclass_clos(
+            testbed, [TrafficClass("data", 1), TrafficClass("cnp", 1)]
+        )
+        assert plan.num_lossless_queues == 3
+        assert plan.verify().deadlock_free
+
+    def test_per_class_coverage(self, testbed):
+        plan = TaggerPlan.for_multiclass_clos(
+            testbed, [TrafficClass("data", 1), TrafficClass("cnp", 1)]
+        )
+        elp = clos_bounce_elp(testbed, 1)
+        assert plan.coverage(elp, initial_tag=1) == 1.0
+        assert plan.coverage(elp, initial_tag=2) == 1.0

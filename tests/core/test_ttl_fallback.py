@@ -1,0 +1,119 @@
+"""Tests for the TTL-based alternative — and why the paper rejected it."""
+
+import pytest
+
+from repro.core import verify_tagged_graph
+from repro.core.tags import LOSSY_TAG
+from repro.core.ttl_fallback import TtlFallback
+from repro.exceptions import TaggingError
+from repro.routing import install_loop, shortest_path_tables
+from repro.simulator import Flow, SimNetwork, find_deadlock_cycle, is_deadlocked, pin_path
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+#: Generous hop bound: longest testbed ELP path (host to host) is 6 hops;
+#: 1-bounce reroutes reach 8. A bound of 10 keeps both lossless.
+MAX_HOPS = 10
+
+
+def ttl_network(testbed):
+    fallback = TtlFallback(testbed, max_hops=MAX_HOPS)
+    pipeline = fallback.pipeline_config()
+    pipelines = {switch: pipeline for switch in testbed.switches}
+    return SimNetwork(
+        testbed,
+        shortest_path_tables(testbed),
+        pipelines=pipelines,
+        host_queue_map=pipeline.queue_map,
+    )
+
+
+class TestMechanics:
+    def test_hop_count_rewrite(self, testbed):
+        fallback = TtlFallback(testbed, max_hops=3)
+        assert fallback.rewrite("L1", 0, 1, 1) == 2
+        assert fallback.rewrite("L1", 0, 1, 3) == 4
+        assert fallback.rewrite("L1", 0, 1, 4) == LOSSY_TAG
+        assert fallback.rewrite("L1", 0, 1, LOSSY_TAG) == LOSSY_TAG
+
+    def test_single_lossless_priority(self, testbed):
+        fallback = TtlFallback(testbed, max_hops=5)
+        pipeline = fallback.pipeline_config()
+        assert pipeline.queue_map.num_lossless_queues == 1
+        for tag in range(1, 7):
+            assert pipeline.classify_ingress(tag) == 1
+
+    def test_bad_bound(self, testbed):
+        with pytest.raises(TaggingError):
+            TtlFallback(testbed, max_hops=0)
+
+
+class TestWhyThePaperRejectedIt:
+    def test_verifier_rejects_the_scheme(self, testbed):
+        """Static: all hop counts share one priority, so the dependency
+        graph contains the physical fabric's cycles — not deadlock-free."""
+        fallback = TtlFallback(testbed, max_hops=MAX_HOPS)
+        report = verify_tagged_graph(fallback.tagged_graph())
+        assert not report.deadlock_free
+        assert report.tag_cycle is not None
+
+    def test_fig10_deadlock_survives_ttl_demotion(self, testbed):
+        """Dynamic: the Fig. 3 bounce paths (8 hops) never exceed the hop
+        bound, so TTL demotion does nothing and the CBD still freezes."""
+        net = ttl_network(testbed)
+        net.add_flow(
+            Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=9801)
+        )
+        net.add_flow(
+            Flow(
+                src="H9",
+                dst="H2",
+                start=0.01,
+                pinned_next_hops=pin_path(GREEN),
+                flow_id=9802,
+            )
+        )
+        net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+        net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+        net.run(0.3)
+        assert find_deadlock_cycle(net) is not None
+        assert net.metrics.mean_rate(9801, 0.25, 0.3) == 0.0
+
+    @pytest.mark.parametrize("bound", [6, 10])
+    def test_loops_deadlock_anyway_ageing_loses_the_race(self, testbed, bound):
+        """One might hope looping packets age past the bound and demote.
+        They never get the chance: the loop's buffers fill with young
+        packets, mutual PAUSE freezes them, and frozen packets take no
+        further hops — deadlock with zero demotions, at any bound.
+        (Contrast with Tagger's structural rule, which demotes at the
+        looping transit itself: test_deadlock.py Fig. 11.)"""
+        fallback = TtlFallback(testbed, max_hops=bound)
+        pipeline = fallback.pipeline_config()
+        net = SimNetwork(
+            testbed,
+            shortest_path_tables(testbed),
+            pipelines={switch: pipeline for switch in testbed.switches},
+            host_queue_map=pipeline.queue_map,
+        )
+        net.add_flow(Flow(src="H1", dst="H5", flow_id=9803))
+        f2 = net.add_flow(
+            Flow(
+                src="H2",
+                dst="H6",
+                pinned_next_hops=pin_path(("H2", "T1", "L1", "T2", "H6")),
+                flow_id=9804,
+            )
+        )
+        net.at(0.02, lambda: install_loop(net.table, "H5", "T1", "L1"))
+        net.run(0.2)
+        assert is_deadlocked(net)
+        assert net.metrics.mean_rate(f2.flow_id, 0.15, 0.2) == 0.0
+        assert net.metrics.total_drops() == 0  # nothing aged out in time
+
+    def test_healthy_traffic_unaffected(self, testbed):
+        net = ttl_network(testbed)
+        flow = net.add_flow(Flow(src="H1", dst="H9", flow_id=9805))
+        net.run(0.05)
+        assert net.metrics.mean_rate(flow.flow_id, 0.02, 0.05) > 9e8
+        assert net.metrics.total_drops() == 0

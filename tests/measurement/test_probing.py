@@ -1,0 +1,86 @@
+"""Tests for IP-in-IP reroute probing (paper §3.2 / Table 1)."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.measurement import (
+    MeasurementStats,
+    ProbeCampaign,
+    probe_return_ttl,
+    run_measurement,
+)
+from repro.routing import apply_local_reroute, shortest_path_tables
+
+
+class TestProbeReturn:
+    def test_healthy_ttl_is_initial_minus_three(self, testbed):
+        """3-layer Clos: spine->leaf->ToR->host = 3 hops (paper: 64 -> 61)."""
+        table = shortest_path_tables(testbed)
+        result = probe_return_ttl(testbed, table, "S1", "H1", initial_ttl=64)
+        assert result.hops == 3
+        assert result.received_ttl == 61
+
+    def test_reroute_lowers_ttl(self, testbed):
+        table = shortest_path_tables(testbed)
+        testbed.fail_link("L1", "T1")
+        apply_local_reroute(testbed, table, ("L1", "T1"))
+        ttls = set()
+        for flow_hash in range(16):
+            try:
+                result = probe_return_ttl(
+                    testbed, table, "S2", "H1", flow_hash=flow_hash
+                )
+                ttls.add(result.received_ttl)
+            except RoutingError:
+                continue  # micro-looping hash
+        assert 61 in ttls          # flows avoiding L1
+        assert any(t < 61 for t in ttls)  # bounced flows
+
+    def test_unreturned_probe_raises(self, testbed):
+        table = shortest_path_tables(testbed)
+        table.set_next_hops("S1", "H1", ["L1"])
+        table.set_next_hops("L1", "H1", ["S1"])
+        with pytest.raises(RoutingError, match="did not return"):
+            probe_return_ttl(testbed, table, "S1", "H1")
+
+
+class TestMeasurement:
+    def test_healthy_measurement_clean(self, testbed):
+        table = shortest_path_tables(testbed)
+        assert not run_measurement(
+            testbed, table, "H1", "S1", probes=50, expected_ttl=61
+        )
+
+    def test_rerouted_measurement_flagged(self, testbed):
+        table = shortest_path_tables(testbed)
+        testbed.fail_link("L1", "T1")
+        apply_local_reroute(testbed, table, ("L1", "T1"))
+        assert run_measurement(
+            testbed, table, "H1", "S2", probes=50, expected_ttl=61
+        )
+
+
+class TestCampaign:
+    def test_zero_failure_probability(self, testbed):
+        campaign = ProbeCampaign(testbed, link_failure_prob=0.0, seed=1)
+        stats = campaign.run(200)
+        assert stats.total == 200
+        assert stats.rerouted == 0
+        assert stats.reroute_probability == 0.0
+
+    def test_failures_produce_reroutes(self, testbed):
+        campaign = ProbeCampaign(
+            testbed, link_failure_prob=0.02, probes_per_measurement=20, seed=7
+        )
+        stats = campaign.run(500)
+        assert stats.total > 0
+        assert stats.rerouted > 0
+        assert 0 < stats.reroute_probability < 1
+
+    def test_topology_restored_after_run(self, testbed):
+        campaign = ProbeCampaign(testbed, link_failure_prob=0.05, seed=2)
+        campaign.run(50)
+        assert not testbed.failed_links
+
+    def test_empty_stats(self):
+        assert MeasurementStats().reroute_probability == 0.0

@@ -1,0 +1,72 @@
+"""Property-based tests for TCAM compression (round-trip exactness)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MatchActionRule, compress_in_ports, compress_joint, expand
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+
+@st.composite
+def rule_sets(draw):
+    """Random consistent rule sets: the match key is a function key."""
+    keys = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),   # tag
+                st.integers(min_value=0, max_value=5),   # in port
+                st.integers(min_value=0, max_value=5),   # out port
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    rules = []
+    for tag, in_port, out_port in sorted(keys):
+        if in_port == out_port:
+            continue
+        new_tag = draw(st.integers(min_value=0, max_value=4))
+        rules.append(MatchActionRule(tag, in_port, out_port, new_tag))
+    return rules
+
+
+@given(rule_sets())
+@SETTINGS
+def test_in_port_round_trip(rules):
+    if not rules:
+        return
+    assert expand(compress_in_ports(rules)) == sorted(rules, key=lambda r: r.key)
+
+
+@given(rule_sets())
+@SETTINGS
+def test_joint_round_trip(rules):
+    if not rules:
+        return
+    assert expand(compress_joint(rules)) == sorted(rules, key=lambda r: r.key)
+
+
+@given(rule_sets())
+@SETTINGS
+def test_compression_monotone(rules):
+    if not rules:
+        return
+    stage1 = compress_in_ports(rules)
+    stage2 = compress_joint(rules)
+    assert len(stage2) <= len(stage1) <= len(rules)
+
+
+@given(rule_sets())
+@SETTINGS
+def test_entries_cover_disjoint_keys(rules):
+    """No two TCAM entries may claim the same (tag, in, out) key."""
+    if not rules:
+        return
+    seen = set()
+    for entry in compress_joint(rules):
+        for in_port in entry.in_ports:
+            for out_port in entry.out_ports:
+                key = (entry.tag, in_port, out_port)
+                assert key not in seen
+                seen.add(key)

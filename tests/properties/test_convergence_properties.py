@@ -1,0 +1,106 @@
+"""Property-based tests for routing reconvergence and tag fusion."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bruteforce_tagging,
+    clos_updown_elp,
+    fit_to_queues,
+    verify_tagged_graph,
+)
+from repro.exceptions import CapacityError
+from repro.routing import ConvergenceProcess, find_forwarding_loops, shortest_path_tables
+from repro.topology import ClosParams, clos3
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def fabric():
+    return clos3(
+        ClosParams(
+            num_pods=2,
+            tors_per_pod=2,
+            leaves_per_pod=2,
+            num_spines=2,
+            hosts_per_tor=1,
+        )
+    )
+
+
+@st.composite
+def failure_sequences(draw):
+    topo = fabric()
+    links = [
+        link.key
+        for link in topo.iter_links()
+        if topo.node(link.a).is_switch and topo.node(link.b).is_switch
+    ]
+    count = draw(st.integers(min_value=1, max_value=3))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(sorted(links)),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return chosen
+
+
+@given(failure_sequences())
+@SETTINGS
+def test_convergence_always_matches_recomputed_routes(failures):
+    """After any sequence of failures, the asynchronous protocol lands on
+    exactly the routes a fresh global shortest-path computation gives."""
+    topo = fabric()
+    destinations = sorted(topo.hosts)
+    proc = ConvergenceProcess(topo, destinations=destinations)
+    for i, link in enumerate(failures):
+        proc.fail_link(*link, at=float(i))
+    final = proc.current_table()
+    reference = shortest_path_tables(topo, destinations=destinations)
+    for switch in topo.switches:
+        for dst in destinations:
+            if reference.has_route(switch, dst):
+                assert sorted(final.next_hops(switch, dst)) == sorted(
+                    reference.next_hops(switch, dst)
+                ), (switch, dst)
+            else:
+                assert not final.has_route(switch, dst)
+
+
+@given(failure_sequences())
+@SETTINGS
+def test_converged_state_is_loop_free(failures):
+    topo = fabric()
+    proc = ConvergenceProcess(topo, destinations=sorted(topo.hosts))
+    for i, link in enumerate(failures):
+        proc.fail_link(*link, at=float(i))
+    final = proc.current_table()
+    for flow_hash in range(4):
+        assert find_forwarding_loops(topo, final, flow_hash=flow_hash) == {}
+
+
+@given(st.integers(min_value=1, max_value=4))
+@SETTINGS
+def test_fusion_output_always_safe(target):
+    """Whatever budget fusion reaches, the result verifies; otherwise it
+    raises CapacityError rather than emitting an unsafe graph."""
+    topo = fabric()
+    graph = bruteforce_tagging(topo, clos_updown_elp(topo))
+    try:
+        fused, mapping = fit_to_queues(graph, target)
+    except CapacityError:
+        return
+    assert fused.num_tags <= target
+    assert verify_tagged_graph(fused).deadlock_free
+    # Mapping is monotone and covers every original tag.
+    tags = sorted(mapping)
+    assert set(tags) == set(graph.tags())
+    assert all(mapping[a] <= mapping[b] for a, b in zip(tags, tags[1:]))

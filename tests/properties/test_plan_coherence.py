@@ -1,0 +1,91 @@
+"""Property: every layer of a plan tells the same story.
+
+For a Clos plan, four independently implemented views must agree on any
+path's fate: the closed-form policy (`ClosTagger.tag_along_path`), the
+materialized rule tables (`coverage_report` semantics), the per-switch
+pipeline configs the simulator runs, and the tagged graph the verifier
+checked. Divergence between any two would mean the verified object is
+not the deployed object.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClosTagger, LOSSY_TAG, TaggerPlan
+from repro.routing import bounce_paths
+from repro.topology import testbed_clos
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_TOPO = testbed_clos()
+_PLAN = TaggerPlan.for_clos(_TOPO, max_bounces=1)
+_TAGGER = ClosTagger(_TOPO, max_bounces=1)
+_PIPELINES = {
+    switch: _PLAN.pipeline_config(switch) for switch in _TOPO.switches
+}
+_PATHS = bounce_paths(
+    _TOPO, "T1", "T4", max_bounces=2, max_paths=80
+) + bounce_paths(_TOPO, "T3", "T2", max_bounces=2, max_paths=80)
+
+
+def pipeline_tags(path):
+    """Arriving tag per hop, computed through the simulator's pipeline."""
+    tags = []
+    tag = 1
+    for i in range(len(path) - 1):
+        if i == 0:
+            tags.append(tag)
+            continue
+        prev_node, node, next_node = path[i - 1], path[i], path[i + 1]
+        pipeline = _PIPELINES[node]
+        tag = pipeline.rewrite(
+            tag,
+            _TOPO.port_to(node, prev_node),
+            _TOPO.port_to(node, next_node),
+        )
+        tags.append(tag)
+    return tags
+
+
+@given(st.sampled_from(_PATHS))
+@SETTINGS
+def test_policy_rules_and_pipeline_agree(path):
+    policy_tags = _TAGGER.tag_along_path(path)
+    sim_tags = pipeline_tags(path)
+    assert sim_tags == policy_tags
+
+
+@given(st.sampled_from(_PATHS))
+@SETTINGS
+def test_graph_contains_every_live_transition(path):
+    """Each lossless hop's (port, tag) state is a node of the verified
+    graph — what the verifier blessed is what packets traverse."""
+    tags = _TAGGER.tag_along_path(path)
+    for i in range(len(path) - 1):
+        node = path[i + 1]
+        tag = tags[i]
+        if tag == LOSSY_TAG:
+            break
+        port = _TOPO.port_to(node, path[i])
+        assert _PLAN.graph.has_node(((node, port), tag))
+
+
+@given(st.sampled_from(_PATHS))
+@SETTINGS
+def test_lossless_queues_match_tags(path):
+    """Ingress queue selection mirrors the tag everywhere (identity map)."""
+    tags = _TAGGER.tag_along_path(path)
+    for i, tag in enumerate(tags):
+        node = path[i + 1]
+        if node not in _PIPELINES:
+            continue
+        queue = _PIPELINES[node].classify_ingress(tag)
+        if tag == LOSSY_TAG:
+            assert queue == 0
+        else:
+            assert queue == tag

@@ -1,0 +1,82 @@
+"""Property-based tests on simulator invariants (DESIGN.md 5, 7, 8)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import INITIAL_TAG, LOSSY_TAG, ClosTagger, TaggerPlan
+from repro.routing import shortest_path_tables
+from repro.simulator import Flow, SimNetwork
+from repro.topology import testbed_clos
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+HOSTS = [f"H{i}" for i in range(1, 17)]
+
+
+@st.composite
+def flow_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    flows = []
+    for _ in range(count):
+        src, dst = draw(
+            st.tuples(st.sampled_from(HOSTS), st.sampled_from(HOSTS)).filter(
+                lambda pair: pair[0] != pair[1]
+            )
+        )
+        start = draw(st.floats(min_value=0.0, max_value=0.01))
+        flows.append(Flow(src=src, dst=dst, start=start))
+    return flows
+
+
+@given(flow_sets())
+@SETTINGS
+def test_packet_conservation(flows):
+    topo = testbed_clos()
+    net = SimNetwork(topo, shortest_path_tables(topo))
+    for flow in flows:
+        net.add_flow(flow)
+    net.run(0.03)
+    check = net.conservation_check()
+    assert check["injected"] == (
+        check["delivered"] + check["dropped"] + check["in_flight"]
+    )
+    assert check["in_flight"] >= 0
+    # Healthy routed fabric: lossless classes never drop.
+    assert check["dropped"] == 0
+
+
+@given(flow_sets())
+@SETTINGS
+def test_no_lossless_drops_with_tagger(flows):
+    topo = testbed_clos()
+    plan = TaggerPlan.for_clos(topo, max_bounces=1)
+    net = SimNetwork.with_plan(topo, shortest_path_tables(topo), plan)
+    for flow in flows:
+        net.add_flow(flow)
+    net.run(0.03)
+    assert net.metrics.drops.get("lossless_overflow", 0) == 0
+
+
+@given(
+    st.sampled_from(
+        [
+            ("H1", "T1", "L1", "S1", "L3", "T3", "H9"),
+            ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2"),
+            ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"),
+        ]
+    )
+)
+@SETTINGS
+def test_tags_monotone_along_paths(path):
+    """Invariant 7: lossless tags never decrease along a trajectory."""
+    topo = testbed_clos()
+    tagger = ClosTagger(topo, max_bounces=2)
+    tags = tagger.tag_along_path(path)
+    live = [t for t in tags if t != LOSSY_TAG]
+    assert live == sorted(live)
+    assert live[0] == INITIAL_TAG

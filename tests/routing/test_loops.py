@@ -1,0 +1,49 @@
+"""Tests for routing-loop injection and detection."""
+
+from repro.routing import (
+    find_forwarding_loops,
+    install_loop,
+    shortest_path_tables,
+)
+
+
+class TestInstallLoop:
+    def test_loop_round_trip(self, testbed):
+        table = shortest_path_tables(testbed)
+        install_loop(table, "H5", "T1", "L1")
+        path, done = table.trace("T1", "H5", max_hops=8)
+        assert not done
+        assert path[:4] == ("T1", "L1", "T1", "L1")
+
+    def test_other_destinations_unaffected(self, testbed):
+        table = shortest_path_tables(testbed)
+        install_loop(table, "H5", "T1", "L1")
+        path, done = table.trace("T1", "H9")
+        assert done
+
+
+class TestFindLoops:
+    def test_healthy_tables_loop_free(self, testbed):
+        table = shortest_path_tables(testbed)
+        assert find_forwarding_loops(testbed, table) == {}
+
+    def test_injected_loop_found(self, testbed):
+        table = shortest_path_tables(testbed)
+        install_loop(table, "H5", "T1", "L1")
+        loops = find_forwarding_loops(testbed, table)
+        assert "H5" in loops
+        assert {"T1", "L1"} <= set(loops["H5"])
+
+    def test_upstream_of_loop_flagged(self, testbed):
+        table = shortest_path_tables(testbed)
+        install_loop(table, "H5", "T1", "L1")
+        loops = find_forwarding_loops(testbed, table)
+        # Switches that forward into the loop are caught too: S1/S2 route
+        # H5-traffic down to L1 or L2; those entering via L1 loop.
+        flagged = set(loops["H5"])
+        assert "T1" in flagged and "L1" in flagged
+
+    def test_explicit_destination_filter(self, testbed):
+        table = shortest_path_tables(testbed)
+        install_loop(table, "H5", "T1", "L1")
+        assert find_forwarding_loops(testbed, table, destinations=["H9"]) == {}

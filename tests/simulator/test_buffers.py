@@ -1,0 +1,86 @@
+"""Tests for ingress accounting and PFC thresholds."""
+
+import pytest
+
+from repro.simulator import SimConfig
+from repro.simulator.buffers import IngressAccounting
+
+
+@pytest.fixture
+def config():
+    return SimConfig(
+        xoff_bytes=10_000,
+        xon_bytes=6_000,
+        headroom_bytes=5_000,
+        lossy_cap_bytes=8_000,
+    )
+
+
+@pytest.fixture
+def accounting(config):
+    return IngressAccounting(config)
+
+
+class TestLosslessAccounting:
+    def test_pause_on_xoff_crossing(self, accounting):
+        first = accounting.charge(0, 1, 9_000)
+        assert first.accepted and not first.send_pause
+        second = accounting.charge(0, 1, 2_000)
+        assert second.accepted and second.send_pause
+
+    def test_pause_sent_once(self, accounting):
+        accounting.charge(0, 1, 11_000)
+        again = accounting.charge(0, 1, 1_000)
+        assert not again.send_pause
+
+    def test_resume_on_xon_crossing(self, accounting):
+        accounting.charge(0, 1, 12_000)
+        partial = accounting.release(0, 1, 2_000)  # at 10_000, above xon
+        assert not partial.send_resume
+        final = accounting.release(0, 1, 5_000)  # at 5_000, below xon
+        assert final.send_resume
+
+    def test_drop_beyond_headroom_cap(self, accounting, config):
+        accounting.charge(0, 1, config.lossless_cap_bytes)
+        overflow = accounting.charge(0, 1, 1)
+        assert not overflow.accepted
+        # Occupancy unchanged by the rejected packet.
+        assert accounting.occupancy_of(0, 1) == config.lossless_cap_bytes
+
+    def test_accounts_are_independent(self, accounting):
+        accounting.charge(0, 1, 11_000)
+        other_port = accounting.charge(1, 1, 1_000)
+        other_queue = accounting.charge(0, 2, 1_000)
+        assert not other_port.send_pause
+        assert not other_queue.send_pause
+
+    def test_release_underflow_asserts(self, accounting):
+        accounting.charge(0, 1, 100)
+        with pytest.raises(AssertionError):
+            accounting.release(0, 1, 200)
+
+
+class TestLossyAccounting:
+    def test_lossy_never_pauses(self, accounting):
+        result = accounting.charge(0, 0, 7_999)
+        assert result.accepted and not result.send_pause
+
+    def test_lossy_tail_drop(self, accounting, config):
+        accounting.charge(0, 0, config.lossy_cap_bytes)
+        overflow = accounting.charge(0, 0, 1)
+        assert not overflow.accepted
+
+    def test_lossy_release_never_resumes(self, accounting):
+        accounting.charge(0, 0, 5_000)
+        result = accounting.release(0, 0, 5_000)
+        assert not result.send_resume
+
+
+class TestIntrospection:
+    def test_total_and_paused_accounts(self, accounting):
+        accounting.charge(0, 1, 12_000)
+        accounting.charge(1, 1, 500)
+        assert accounting.total_bytes == 12_500
+        paused = accounting.paused_accounts()
+        assert list(paused) == [(0, 1)]
+        assert paused[(0, 1)] == 12_000

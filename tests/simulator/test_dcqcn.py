@@ -1,0 +1,141 @@
+"""Tests for ECN marking and DCQCN congestion control."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    DcqcnFlow,
+    DcqcnParams,
+    Flow,
+    SimConfig,
+    SimNetwork,
+    find_deadlock_cycle,
+    pin_path,
+)
+
+
+def ecn_config():
+    return SimConfig(ecn_threshold_bytes=20 * 1024)
+
+
+class TestEcnMarking:
+    def test_marks_only_above_threshold(self, testbed):
+        from repro.simulator import PacketTracer
+
+        net = SimNetwork(testbed, shortest_path_tables(testbed), config=ecn_config())
+        # Single uncongested flow: queues stay tiny, nothing is marked.
+        flow = DcqcnFlow(src="H1", dst="H9", flow_id=6301).attach(net)
+        net.run(0.05)
+        assert flow.cnps_sent == 0
+        assert flow.rate == flow.params.line_rate_bps
+
+    def test_incast_generates_cnps(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed), config=ecn_config())
+        flows = [
+            DcqcnFlow(src=src, dst="H1", flow_id=6310 + i).attach(net)
+            for i, src in enumerate(("H5", "H9", "H13"))
+        ]
+        net.run(0.1)
+        assert sum(f.cnps_received for f in flows) > 0
+        # Senders backed off below line rate.
+        assert all(f.rate < f.params.line_rate_bps for f in flows)
+
+    def test_marking_disabled_by_default(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        flows = [
+            DcqcnFlow(src=src, dst="H1", flow_id=6320 + i).attach(net)
+            for i, src in enumerate(("H5", "H9"))
+        ]
+        net.run(0.05)
+        assert all(f.cnps_sent == 0 for f in flows)
+
+
+class TestPauseReduction:
+    def test_dcqcn_slashes_pause_count(self, testbed):
+        """The §6 claim for DCQCN: it minimizes PFC generation."""
+
+        def run(with_dcqcn):
+            config = ecn_config() if with_dcqcn else SimConfig()
+            net = SimNetwork(
+                testbed, shortest_path_tables(testbed), config=config
+            )
+            if with_dcqcn:
+                for i, src in enumerate(("H5", "H9", "H13")):
+                    DcqcnFlow(src=src, dst="H1", flow_id=6330 + i).attach(net)
+            else:
+                for i, src in enumerate(("H5", "H9", "H13")):
+                    net.add_flow(Flow(src=src, dst="H1", flow_id=6330 + i))
+            net.run(0.15)
+            return net.metrics.pfc.pause_count
+
+        plain = run(False)
+        dcqcn = run(True)
+        assert dcqcn < plain / 20
+
+    def test_rate_recovers_after_congestion_ends(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed), config=ecn_config())
+        keeper = DcqcnFlow(src="H5", dst="H1", flow_id=6340).attach(net)
+        DcqcnFlow(
+            src="H9", dst="H1", flow_id=6341, stop=0.05
+        ).attach(net)
+        net.run(0.2)
+        # Once the competitor stops, additive increase restores the rate.
+        assert keeper.rate == keeper.params.line_rate_bps
+        assert (
+            net.metrics.mean_rate(6340, 0.15, 0.2)
+            == pytest.approx(1e9, rel=0.15)
+        )
+
+
+class TestDcqcnIsNotDeadlockPrevention:
+    GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+    BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+    def run_cbd(self, testbed, ids):
+        net = SimNetwork(
+            testbed, shortest_path_tables(testbed), config=ecn_config()
+        )
+        blue = DcqcnFlow(src="H1", dst="H13", flow_id=ids[0]).attach(net)
+        net.pin_flow(ids[0], pin_path(self.BLUE), dst="H13")
+        green = DcqcnFlow(
+            src="H9", dst="H2", start=0.01, flow_id=ids[1]
+        ).attach(net)
+        net.pin_flow(ids[1], pin_path(self.GREEN), dst="H2")
+        net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+        net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+        net.run(0.4)
+        return net, find_deadlock_cycle(net)
+
+    def test_cbd_deadlock_can_still_form_despite_dcqcn(self, testbed):
+        """The §6 punchline: congestion control minimizes pauses and can
+        *sometimes* dodge a deadlock by lowering buffer pressure, but it
+        cannot guarantee prevention — here is a concrete stall where the
+        bounce CBD freezes both DCQCN flows anyway. (CNPs ride the normal
+        tables, so their timing depends on the flow's ECMP hash: other
+        ids in the sibling test escape. That non-determinism is exactly
+        why a structural guarantee is needed.)"""
+        net, cycle = self.run_cbd(testbed, (6201, 6202))
+        assert cycle is not None
+        assert net.metrics.mean_rate(6201, 0.3, 0.4) == 0.0
+        assert net.metrics.mean_rate(6202, 0.3, 0.4) == 0.0
+
+    def test_dcqcn_sometimes_escapes_by_luck(self, testbed):
+        """With different ECMP-steered CNP timing the same scenario does
+        not freeze — prevention by congestion control is probabilistic."""
+        net, cycle = self.run_cbd(testbed, (6351, 6352))
+        assert cycle is None
+        assert net.metrics.mean_rate(6351, 0.3, 0.4) > 1e8
+
+
+class TestValidation:
+    def test_bad_endpoints(self, testbed):
+        with pytest.raises(SimulationError):
+            DcqcnFlow(src="H1", dst="H1")
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        with pytest.raises(SimulationError):
+            DcqcnFlow(src="H1", dst="nope").attach(net)
+
+    def test_cnp_class_defaults_to_data_class(self):
+        flow = DcqcnFlow(src="H1", dst="H2", data_tag=2)
+        assert flow.cnp_tag == 2

@@ -1,0 +1,175 @@
+"""Deadlock formation and prevention in the simulator (Figs 10-12)."""
+
+import pytest
+
+from repro.core import TaggerPlan
+from repro.routing import install_loop, shortest_path_tables
+from repro.simulator import (
+    Flow,
+    SimNetwork,
+    blocked_queues,
+    find_deadlock_cycle,
+    is_deadlocked,
+    pin_path,
+    wait_for_graph,
+)
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def bounce_scenario(testbed, with_tagger, slow=("H2", 5e7, 0.05, 0.08)):
+    """Fig. 10: two 1-bounce flows + a transient slow receiver."""
+    table = shortest_path_tables(testbed)
+    if with_tagger:
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        net = SimNetwork.with_plan(testbed, table, plan)
+    else:
+        net = SimNetwork(testbed, table)
+    blue = net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE))
+    )
+    green = net.add_flow(
+        Flow(src="H9", dst="H2", start=0.01, pinned_next_hops=pin_path(GREEN))
+    )
+    host, rate, begin, end = slow
+    net.at(begin, lambda: net.set_receiver_rate(host, rate))
+    net.at(end, lambda: net.set_receiver_rate(host, None))
+    return net, blue, green
+
+
+class TestFig10BounceDeadlock:
+    def test_without_tagger_deadlocks_permanently(self, testbed):
+        net, blue, green = bounce_scenario(testbed, with_tagger=False)
+        net.run(0.3)
+        cycle = find_deadlock_cycle(net)
+        assert cycle is not None
+        # The runtime cycle spans the paper's CBD switches.
+        assert {n[0] for n in cycle} == {"L1", "S1", "L3", "S2"}
+        # Rates are zero well after the trigger abated at 0.08s.
+        assert net.metrics.mean_rate(blue.flow_id, 0.2, 0.3) == 0.0
+        assert net.metrics.mean_rate(green.flow_id, 0.2, 0.3) == 0.0
+        # Deadlock, not loss: nothing was dropped.
+        assert net.metrics.total_drops() == 0
+
+    def test_with_tagger_no_deadlock(self, testbed):
+        net, blue, green = bounce_scenario(testbed, with_tagger=True)
+        net.run(0.3)
+        assert not is_deadlocked(net)
+        assert net.metrics.mean_rate(blue.flow_id, 0.2, 0.3) > 1e8
+        assert net.metrics.mean_rate(green.flow_id, 0.2, 0.3) > 1e8
+        assert net.metrics.total_drops() == 0
+
+    def test_deadlock_persists_after_trigger(self, testbed):
+        net, blue, green = bounce_scenario(testbed, with_tagger=False)
+        net.run(0.12)
+        assert is_deadlocked(net)
+        net.run(0.5)  # long after recovery of the receiver
+        assert is_deadlocked(net)
+
+
+class TestPaperScaleConfig:
+    def test_fig10_reproduces_at_40g(self, testbed):
+        """The same deadlock forms under the paper-testbed (40 Gb/s)
+        parameter preset — the phenomenon is rate-scale invariant."""
+        from repro.simulator import SimConfig
+
+        net = SimNetwork(
+            testbed,
+            shortest_path_tables(testbed),
+            config=SimConfig.paper_testbed(),
+        )
+        net.add_flow(
+            Flow(
+                src="H1",
+                dst="H13",
+                packet_size=1024,
+                pinned_next_hops=pin_path(BLUE),
+                flow_id=9501,
+            )
+        )
+        net.add_flow(
+            Flow(
+                src="H9",
+                dst="H2",
+                start=0.0005,
+                packet_size=1024,
+                pinned_next_hops=pin_path(GREEN),
+                flow_id=9502,
+            )
+        )
+        net.at(0.002, lambda: net.set_receiver_rate("H2", 2e9))
+        net.at(0.004, lambda: net.set_receiver_rate("H2", None))
+        net.run(0.012)
+        cycle = find_deadlock_cycle(net)
+        assert cycle is not None
+        assert net.metrics.mean_rate(9501, 0.008, 0.012) == 0.0
+        assert net.metrics.total_drops() == 0
+
+
+class TestFig11RoutingLoop:
+    def run_loop_scenario(self, testbed, with_tagger):
+        table = shortest_path_tables(testbed)
+        if with_tagger:
+            plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+            net = SimNetwork.with_plan(testbed, table, plan)
+        else:
+            net = SimNetwork(testbed, table)
+        f1 = net.add_flow(Flow(src="H1", dst="H5"))
+        # Paper: "The path taken by F2 also traverses link T1-L1."
+        f2 = net.add_flow(
+            Flow(
+                src="H2",
+                dst="H6",
+                pinned_next_hops=pin_path(("H2", "T1", "L1", "T2", "H6")),
+            )
+        )
+        net.at(0.02, lambda: install_loop(net.table, "H5", "T1", "L1"))
+        net.run(0.2)
+        return net, f1, f2
+
+    def test_without_tagger_loop_deadlocks_everything(self, testbed):
+        net, f1, f2 = self.run_loop_scenario(testbed, with_tagger=False)
+        cycle = find_deadlock_cycle(net)
+        assert cycle is not None
+        assert {n[0] for n in cycle} == {"T1", "L1"}
+        assert net.metrics.mean_rate(f1.flow_id, 0.15, 0.2) == 0.0
+        assert net.metrics.mean_rate(f2.flow_id, 0.15, 0.2) == 0.0
+
+    def test_with_tagger_loop_is_contained(self, testbed):
+        """Paper Fig. 11(b): F1 dies by TTL, F2 keeps running."""
+        net, f1, f2 = self.run_loop_scenario(testbed, with_tagger=True)
+        assert not is_deadlocked(net)
+        # F1's packets die in the loop (zero goodput): demoted to the
+        # lossy class, they are tail-dropped or expire by TTL instead of
+        # freezing buffers.
+        assert net.metrics.mean_rate(f1.flow_id, 0.15, 0.2) == 0.0
+        lossy_deaths = (
+            net.metrics.drops.get("ttl_expired", 0)
+            + net.metrics.drops.get("lossy_overflow", 0)
+        )
+        assert lossy_deaths > 0
+        # F2 is not paused; its rate is reduced by sharing T1-L1 with the
+        # circulating (lossy) loop traffic — paper Fig. 11(b) reports the
+        # same "not paused but affected by the routing loop" outcome.
+        assert net.metrics.mean_rate(f2.flow_id, 0.15, 0.2) > 1e8
+
+
+class TestWaitForGraph:
+    def test_healthy_network_has_no_blocked_queues(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H9"))
+        net.run(0.02)
+        assert find_deadlock_cycle(net) is None
+
+    def test_congestion_without_cbd_is_not_deadlock(self, testbed):
+        """Blocked queues exist under incast, but no wait-for cycle."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        for src in ("H5", "H9", "H13"):
+            net.add_flow(Flow(src=src, dst="H1"))
+        net.set_receiver_rate("H1", 1e8)
+        net.run(0.05)
+        graph = wait_for_graph(net)
+        assert find_deadlock_cycle(net) is None
+        # ... even though back-pressure is active somewhere.
+        assert blocked_queues(net) or net.metrics.pfc.pause_count > 0

@@ -1,0 +1,165 @@
+"""Tests for the detect-and-break baseline and dynamic thresholds."""
+
+import pytest
+
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    DROP_DEADLOCK_RESET,
+    DeadlockBreaker,
+    Flow,
+    SimConfig,
+    SimNetwork,
+    find_deadlock_cycle,
+    pin_path,
+)
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def deadlock_net(testbed, config=None):
+    net = SimNetwork(
+        testbed, shortest_path_tables(testbed), config=config or SimConfig()
+    )
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=9001)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=9002,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+class TestDeadlockBreaker:
+    def test_breaks_the_fig10_deadlock(self, testbed):
+        net = deadlock_net(testbed)
+        breaker = DeadlockBreaker(net, period=0.005)
+        breaker.install()
+        net.run(0.3)
+        assert find_deadlock_cycle(net) is None
+        assert breaker.detections >= 1
+        assert breaker.total_dropped > 0
+        assert net.metrics.drops[DROP_DEADLOCK_RESET] == breaker.total_dropped
+
+    def test_traffic_resumes_after_break(self, testbed):
+        net = deadlock_net(testbed)
+        DeadlockBreaker(net, period=0.005).install()
+        net.run(0.3)
+        for flow_id in (9001, 9002):
+            assert net.metrics.mean_rate(flow_id, 0.25, 0.3) > 1e8
+
+    def test_event_log_contents(self, testbed):
+        net = deadlock_net(testbed)
+        breaker = DeadlockBreaker(net, period=0.005)
+        breaker.install()
+        net.run(0.3)
+        event = breaker.events[0]
+        assert event.victim in event.cycle
+        assert event.packets_dropped > 0
+        assert 0 < event.time <= 0.3
+
+    def test_install_idempotent(self, testbed):
+        net = deadlock_net(testbed)
+        breaker = DeadlockBreaker(net, period=0.005)
+        breaker.install()
+        breaker.install()
+        net.run(0.02)
+        # One poll chain only: at most 4 ticks in 20 ms at 5 ms period.
+        assert net.sim.pending_events < 50
+
+    def test_no_deadlock_means_no_action(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H9", flow_id=9003))
+        breaker = DeadlockBreaker(net, period=0.005)
+        breaker.install()
+        net.run(0.05)
+        assert breaker.detections == 0
+        assert net.metrics.total_drops() == 0
+
+
+class TestDynamicThresholds:
+    def make_accounting(self, **overrides):
+        from repro.simulator.buffers import IngressAccounting
+
+        config = SimConfig(
+            dynamic_thresholds=True,
+            dt_alpha=1.0,
+            shared_buffer_bytes=100_000,
+            dt_xon_offset_bytes=10_000,
+            dt_floor_bytes=5_000,
+            xoff_bytes=40_000,
+            headroom_bytes=20_000,
+            **overrides,
+        )
+        return IngressAccounting(config)
+
+    def test_threshold_shrinks_as_pool_fills(self):
+        accounting = self.make_accounting()
+        assert accounting.current_xoff() == 40_000  # capped by static xoff
+        accounting.charge(0, 1, 50_000)  # within cap (xoff + headroom)
+        accounting.charge(1, 1, 20_000)
+        # free = 30_000 -> dynamic threshold 30_000.
+        assert accounting.current_xoff() == 30_000
+        assert accounting.current_xon() == 20_000
+
+    def test_floor_respected(self):
+        accounting = self.make_accounting()
+        accounting.charge(0, 1, 40_000)
+        accounting.charge(1, 1, 40_000)
+        accounting.charge(2, 1, 19_000)
+        # free = 1_000 -> clamped to the 5_000 floor.
+        assert accounting.current_xoff() == 5_000
+
+    def test_pause_fires_at_dynamic_threshold(self):
+        accounting = self.make_accounting()
+        # Fill the pool via one port so thresholds shrink...
+        accounting.charge(0, 1, 60_000)
+        # ... then a second port pauses well below the static 40_000.
+        result = accounting.charge(1, 1, 39_000)
+        assert result.send_pause
+
+    def test_resume_tracks_shrunken_threshold(self):
+        accounting = self.make_accounting()
+        accounting.charge(0, 1, 60_000)  # pool pressure
+        accounting.charge(1, 1, 39_000)  # paused (threshold ~40k->?)
+        # Releasing a little is not enough: xon follows the dynamic xoff.
+        partial = accounting.release(1, 1, 5_000)
+        assert not partial.send_resume
+        # Release the pressure account; thresholds relax and the account
+        # resumes on its next release crossing.
+        accounting.release(0, 1, 60_000)
+        final = accounting.release(1, 1, 10_000)
+        assert final.send_resume
+
+    def test_lossless_total_tracked(self):
+        accounting = self.make_accounting()
+        accounting.charge(0, 1, 10_000)
+        accounting.charge(0, 0, 5_000)  # lossy: not in the lossless pool
+        assert accounting.lossless_total == 10_000
+        accounting.release(0, 1, 4_000)
+        assert accounting.lossless_total == 6_000
+
+    def test_static_mode_unchanged(self):
+        from repro.simulator.buffers import IngressAccounting
+
+        accounting = IngressAccounting(SimConfig())
+        assert accounting.current_xoff() == SimConfig().xoff_bytes
+        assert accounting.current_xon() == SimConfig().xon_bytes
+
+    def test_dynamic_fabric_end_to_end(self, testbed):
+        config = SimConfig(
+            dynamic_thresholds=True, dt_alpha=0.5, shared_buffer_bytes=128 * 1024
+        )
+        net = SimNetwork(testbed, shortest_path_tables(testbed), config=config)
+        flow = net.add_flow(Flow(src="H1", dst="H9", flow_id=9004))
+        net.run(0.05)
+        assert net.metrics.mean_rate(flow.flow_id, 0.02, 0.05) > 9e8
+        assert net.metrics.total_drops() == 0

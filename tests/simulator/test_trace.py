@@ -1,0 +1,126 @@
+"""Tests for packet tracing and queue sampling."""
+
+import pytest
+
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    Flow,
+    PacketTracer,
+    QueueSampler,
+    SimNetwork,
+)
+
+
+def traced_net(testbed, **tracer_kwargs):
+    net = SimNetwork(testbed, shortest_path_tables(testbed))
+    tracer = PacketTracer(**tracer_kwargs).attach(net)
+    return net, tracer
+
+
+class TestPacketTracer:
+    def test_records_full_journey(self, testbed):
+        net, tracer = traced_net(testbed)
+        net.add_flow(Flow(src="H1", dst="H9", total_bytes=4096, flow_id=9401))
+        net.run(0.01)
+        deliveries = tracer.of_kind("deliver")
+        assert len(deliveries) == 1
+        journey = tracer.packet_journey(deliveries[0].packet_id)
+        kinds = [event.kind for event in journey]
+        # 5 switches on the path: T1 L? S? L? T3, then the host delivery.
+        assert kinds.count("receive") == 5
+        assert kinds.count("forward") == 5
+        assert kinds[-1] == "deliver"
+        nodes = [e.node for e in journey if e.kind == "receive"]
+        assert nodes[0] == "T1" and nodes[-1] == "T3"
+
+    def test_flow_filter(self, testbed):
+        net, tracer = traced_net(testbed, flows=[9403])
+        net.add_flow(Flow(src="H1", dst="H9", total_bytes=4096, flow_id=9402))
+        net.add_flow(Flow(src="H5", dst="H13", total_bytes=4096, flow_id=9403))
+        net.run(0.01)
+        flow_ids = {e.flow_id for e in tracer.events if e.flow_id is not None}
+        assert flow_ids == {9403}
+
+    def test_node_filter(self, testbed):
+        net, tracer = traced_net(testbed, nodes=["T1"])
+        net.add_flow(Flow(src="H1", dst="H9", total_bytes=8192, flow_id=9404))
+        net.run(0.01)
+        assert {e.node for e in tracer.events} == {"T1"}
+
+    def test_capacity_ring_buffer(self, testbed):
+        net, tracer = traced_net(testbed, capacity=10)
+        net.add_flow(Flow(src="H1", dst="H9", flow_id=9405))
+        net.run(0.01)
+        assert len(tracer) == 10
+
+    def test_drop_events_traced(self, testbed):
+        net, tracer = traced_net(testbed)
+        flow = net.add_flow(Flow(src="H1", dst="H9", flow_id=9406))
+        net.at(0.005, lambda: net.table.remove_route("T1", "H9"))
+        net.run(0.02)
+        drops = tracer.of_kind("drop")
+        assert drops
+        assert any(e.detail == "no_route" for e in drops)
+
+    def test_pause_events_traced(self, testbed):
+        net, tracer = traced_net(testbed)
+        for i, src in enumerate(("H5", "H9", "H13")):
+            net.add_flow(Flow(src=src, dst="H1", flow_id=9410 + i))
+        net.run(0.02)
+        assert tracer.of_kind("pause")
+
+    def test_tag_rewrites_visible(self, testbed):
+        from repro.core import TaggerPlan
+        from repro.simulator import pin_path
+
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        net = SimNetwork.with_plan(testbed, shortest_path_tables(testbed), plan)
+        tracer = PacketTracer().attach(net)
+        bounce = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+        net.add_flow(
+            Flow(
+                src="H9",
+                dst="H2",
+                total_bytes=4096,
+                pinned_next_hops=pin_path(bounce),
+                flow_id=9420,
+            )
+        )
+        net.run(0.01)
+        forwards = tracer.of_kind("forward")
+        assert any("tag 1->2" in e.detail for e in forwards)
+
+
+class TestQueueSampler:
+    def test_samples_congested_account(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        for i, src in enumerate(("H5", "H9", "H13")):
+            net.add_flow(Flow(src=src, dst="H1", flow_id=9430 + i))
+        sampler = QueueSampler(
+            net, spots=[("T1", "L1", 1), ("T1", "L2", 1)], period=0.001
+        )
+        sampler.install()
+        net.run(0.05)
+        port = testbed.port_to("T1", "L1")
+        series = sampler.series("T1", port, 1)
+        assert len(series) >= 40
+        peak = sampler.peak_ingress("T1", port, 1)
+        # Incast builds real occupancy at the bottleneck ToR.
+        assert peak > 0
+
+    def test_idle_spot_stays_empty(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H2", flow_id=9440))  # intra-ToR
+        sampler = QueueSampler(net, spots=[("S1", "L1", 1)], period=0.001)
+        sampler.install()
+        net.run(0.02)
+        port = testbed.port_to("S1", "L1")
+        assert sampler.peak_ingress("S1", port, 1) == 0
+
+    def test_install_idempotent(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        sampler = QueueSampler(net, spots=[("T1", "L1", 1)], period=0.001)
+        sampler.install()
+        sampler.install()
+        net.run(0.005)
+        assert len(sampler.samples) <= 6

@@ -1,0 +1,185 @@
+"""Tests for the go-back-N reliable transport."""
+
+import pytest
+
+from repro.core import TaggerPlan
+from repro.routing import count_bounces, shortest_path_tables
+from repro.simulator import (
+    Flow,
+    ReliableMessage,
+    SimConfig,
+    SimNetwork,
+    pin_path,
+)
+from repro.exceptions import SimulationError
+
+TWO_BOUNCE = ("H9", "T3", "L3", "T4", "L4", "S1", "L1", "S2", "L2", "T1", "H2")
+
+
+class TestCleanTransfer:
+    def test_completes_at_line_rate(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        msg = ReliableMessage(
+            src="H1", dst="H9", message_size=1_000_000
+        ).attach(net)
+        net.run(0.1)
+        assert msg.stats.completed
+        assert msg.stats.retransmissions == 0
+        assert msg.stats.nacks == 0
+        # 1 MB at 1 Gb/s = 8 ms plus per-hop pipeline latency.
+        assert msg.completion_time == pytest.approx(0.008, rel=0.1)
+
+    def test_packet_count_matches_message_size(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        msg = ReliableMessage(
+            src="H1", dst="H9", message_size=10_000, packet_size=4096
+        ).attach(net)
+        net.run(0.01)
+        assert msg.stats.completed
+        assert msg.stats.packets_sent == 3  # ceil(10000 / 4096)
+
+    def test_concurrent_messages(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        messages = [
+            ReliableMessage(src="H1", dst="H9", message_size=100_000).attach(net),
+            ReliableMessage(src="H9", dst="H1", message_size=100_000).attach(net),
+            ReliableMessage(src="H5", dst="H13", message_size=100_000).attach(net),
+        ]
+        net.run(0.05)
+        for msg in messages:
+            assert msg.stats.completed
+
+    def test_bad_params(self):
+        with pytest.raises(SimulationError):
+            ReliableMessage(src="H1", dst="H2", message_size=0)
+        with pytest.raises(SimulationError):
+            ReliableMessage(src="H1", dst="H2", message_size=10, window=0)
+
+
+class TestDemotedPath:
+    def test_two_bounce_path_is_demoted_yet_completes(self, testbed):
+        """Tagger's lossy fallback is end-to-end safe: a message forced
+        onto a >k-bounce path rides the lossy class and still completes
+        (paper §4.2: demotion is not loss)."""
+        assert count_bounces(testbed, TWO_BOUNCE[1:-1]) == 2
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        net = SimNetwork.with_plan(testbed, shortest_path_tables(testbed), plan)
+        msg = ReliableMessage(
+            src="H9",
+            dst="H2",
+            message_size=500_000,
+            pinned_next_hops=pin_path(TWO_BOUNCE),
+        ).attach(net)
+        net.run(0.5)
+        assert msg.stats.completed
+
+    def test_lossy_drops_are_recovered(self, testbed):
+        """When the lossy queue actually overflows, go-back-N recovers:
+        the message completes with retransmissions, not corruption."""
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        config = SimConfig(lossy_cap_bytes=16 * 1024)  # tight lossy buffer
+        net = SimNetwork.with_plan(
+            testbed, shortest_path_tables(testbed), plan, config=config
+        )
+        # Lossless background pinned to share the message's lossy tail
+        # (S2 -> L2 -> T1 -> H2): the lossy class has no PFC, so when its
+        # round-robin share drops below the sender's line-rate arrival it
+        # overflows its 16 KB cap instead of pausing.
+        # (Via L3, so it does NOT touch the message's lossless head —
+        # otherwise PFC would throttle the sender below the lossy tail's
+        # capacity and nothing would ever overflow.)
+        net.add_flow(
+            Flow(
+                src="H13",
+                dst="H2",
+                flow_id=9620,
+                pinned_next_hops=pin_path(
+                    ("H13", "T4", "L3", "S2", "L2", "T1", "H2")
+                ),
+            )
+        )
+        # A large window overruns the tight lossy buffer: in-flight data
+        # (64 x 4 KB = 256 KB) far exceeds the 16 KB lossy cap.
+        msg = ReliableMessage(
+            src="H9",
+            dst="H2",
+            message_size=400_000,
+            window=64,
+            pinned_next_hops=pin_path(TWO_BOUNCE),
+            rto=0.01,
+        ).attach(net)
+        net.run(1.0)
+        assert net.metrics.drops.get("lossy_overflow", 0) > 0
+        assert msg.stats.completed
+        assert msg.stats.retransmissions > 0
+        assert msg.stats.nacks + msg.stats.timeouts > 0
+
+    def test_acks_follow_tables_not_the_pin(self, testbed):
+        """Regression: the data-path pin must not bend reverse-direction
+        ACKs (they'd loop back to the receiver and stall the sender)."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        msg = ReliableMessage(
+            src="H9",
+            dst="H2",
+            message_size=100_000,
+            pinned_next_hops=pin_path(TWO_BOUNCE),
+        ).attach(net)
+        net.run(0.1)
+        assert msg.stats.completed
+        assert msg.stats.timeouts == 0
+
+
+class TestRecoverySemantics:
+    def test_timeout_resends_window(self, testbed):
+        """Cut the route entirely: the sender times out and retries until
+        the route returns, then completes."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        msg = ReliableMessage(
+            src="H1", dst="H9", message_size=50_000, rto=0.005
+        ).attach(net)
+
+        saved = {}
+
+        def cut():
+            saved["hops"] = net.table.next_hops("T1", "H9")
+            net.table.remove_route("T1", "H9")
+
+        def heal():
+            net.table.set_next_hops("T1", "H9", saved["hops"])
+
+        net.at(0.0001, cut)
+        net.at(0.05, heal)
+        net.run(0.2)
+        assert msg.stats.completed
+        assert msg.stats.timeouts > 0
+        assert msg.stats.retransmissions > 0
+
+    def test_transport_during_deadlock_freezes_without_tagger(self, testbed):
+        """A reliable sender cannot outrun a PFC deadlock: retransmitted
+        packets just pile into frozen queues."""
+        GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+        BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(
+            Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=9630)
+        )
+        net.add_flow(
+            Flow(
+                src="H9",
+                dst="H2",
+                start=0.01,
+                pinned_next_hops=pin_path(GREEN),
+                flow_id=9631,
+            )
+        )
+        net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+        net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+        msg = ReliableMessage(
+            src="H2", dst="H14", message_size=10_000_000, start=0.1, rto=0.02,
+            pinned_next_hops=pin_path(("H2", "T1", "L1", "S1", "L3", "T4", "H14")),
+        ).attach(net)
+        net.run(0.5)
+        from repro.simulator import is_deadlocked
+
+        assert is_deadlocked(net)
+        assert not msg.stats.completed

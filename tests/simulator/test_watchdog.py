@@ -1,0 +1,153 @@
+"""Tests for the PFC watchdog baseline and live link failures."""
+
+import pytest
+
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    DROP_WATCHDOG,
+    Flow,
+    PfcWatchdog,
+    SimNetwork,
+    find_deadlock_cycle,
+    pin_path,
+)
+from repro.simulator.metrics import DROP_LINK_DOWN
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def deadlock_net(testbed):
+    net = SimNetwork(testbed, shortest_path_tables(testbed))
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=9101)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=9102,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+class TestWatchdog:
+    def test_breaks_deadlock(self, testbed):
+        net = deadlock_net(testbed)
+        watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+        watchdog.install()
+        net.run(0.3)
+        assert find_deadlock_cycle(net) is None
+        assert watchdog.storms >= 1
+        assert watchdog.total_dropped > 0
+        for flow_id in (9101, 9102):
+            assert net.metrics.mean_rate(flow_id, 0.25, 0.3) > 1e8
+
+    def test_false_positive_on_stalled_receiver(self, testbed):
+        """The watchdog cannot tell legitimate back-pressure from a
+        deadlock: a (temporarily) stalled receiver NIC — the classic
+        production incident PFC was designed to absorb — holds its pause
+        past the detection window, and the watchdog destroys lossless
+        packets that plain PFC would have delivered after recovery."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H9", dst="H1", flow_id=9103))
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 1e5))
+        net.at(0.15, lambda: net.set_receiver_rate("H1", None))
+        watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+        watchdog.install()
+        net.run(0.2)
+        assert watchdog.storms >= 1
+        assert net.metrics.drops[DROP_WATCHDOG] > 0
+        # The identical scenario without the watchdog is lossless.
+        clean = SimNetwork(testbed, shortest_path_tables(testbed))
+        clean.add_flow(Flow(src="H9", dst="H1", flow_id=9103))
+        clean.at(0.02, lambda: clean.set_receiver_rate("H1", 1e5))
+        clean.at(0.15, lambda: clean.set_receiver_rate("H1", None))
+        clean.run(0.2)
+        assert clean.metrics.total_drops() == 0
+
+    def test_moderately_slow_receiver_tolerated(self, testbed):
+        """A receiver at 50 Mb/s cycles its pause every few ms — far
+        below the detection window — and must NOT trigger."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H9", dst="H1", flow_id=9105))
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 5e7))
+        watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+        watchdog.install()
+        net.run(0.2)
+        assert watchdog.storms == 0
+        assert net.metrics.total_drops() == 0
+
+    def test_quiet_on_healthy_fabric(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H9", flow_id=9104))
+        watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+        watchdog.install()
+        net.run(0.1)
+        assert watchdog.storms == 0
+        assert net.metrics.total_drops() == 0
+
+    def test_short_pauses_tolerated(self, testbed):
+        """Ordinary congestion pauses are shorter than the detection
+        window and never trigger."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        for i, src in enumerate(("H5", "H9", "H13")):
+            net.add_flow(Flow(src=src, dst="H1", flow_id=9110 + i))
+        watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+        watchdog.install()
+        net.run(0.1)
+        assert net.metrics.pfc.pause_count > 0  # congestion did pause
+        assert watchdog.storms == 0
+
+    def test_install_idempotent(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        watchdog = PfcWatchdog(net, poll=0.005)
+        watchdog.install()
+        watchdog.install()
+        net.run(0.02)
+        assert net.sim.pending_events < 50
+
+
+class TestLiveLinkFailure:
+    def test_fail_link_stops_and_drops(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        flow = net.add_flow(Flow(src="H1", dst="H9", flow_id=9201))
+        # Find which spine this flow uses, then fail its first-leg link
+        # mid-run without updating routing: traffic black-holes.
+        net.run(0.02)
+        net.at(0.02, lambda: net.fail_link("T1", "L1"))
+        net.at(0.02, lambda: net.fail_link("T1", "L2"))
+        net.run(0.1)
+        assert net.metrics.mean_rate(flow.flow_id, 0.06, 0.1) == 0.0
+        # Whatever sat on the dead ports was counted.
+        drops = net.metrics.drops
+        assert drops.get(DROP_LINK_DOWN, 0) >= 0
+        assert not net.switches["T1"].tx_ports[
+            testbed.port_to("T1", "L1")
+        ].link_up
+
+    def test_restore_link_resumes(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        flow = net.add_flow(Flow(src="H1", dst="H2", flow_id=9202))
+        net.run(0.01)
+        # H1 -> H2 goes H1-T1-H2; fail an unrelated link and restore it.
+        net.fail_link("L1", "S1")
+        net.restore_link("L1", "S1")
+        net.run(0.05)
+        assert net.metrics.mean_rate(flow.flow_id, 0.02, 0.05) > 9e8
+
+    def test_conservation_with_link_drops(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H9", flow_id=9203))
+        net.at(0.02, lambda: net.fail_link("L1", "S1"))
+        net.at(0.02, lambda: net.fail_link("L1", "S2"))
+        net.run(0.08)
+        check = net.conservation_check()
+        assert check["injected"] == (
+            check["delivered"] + check["dropped"] + check["in_flight"]
+        )

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_clos_plan_prints_summary(self, capsys):
+        assert main(["plan", "--topology", "clos", "--bounces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 lossless queue(s)" in out
+        assert "DEADLOCK-FREE" in out
+
+    def test_jellyfish_plan(self, capsys):
+        code = main(
+            ["plan", "--topology", "jellyfish", "--switches", "20",
+             "--ports", "8", "--seed", "3"]
+        )
+        assert code == 0
+        assert "DEADLOCK-FREE" in capsys.readouterr().out
+
+    def test_plan_export_and_verify_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        assert main(["plan", "--bounces", "1", "--out", str(out_file)]) == 0
+        blob = json.loads(out_file.read_text())
+        assert blob["num_lossless_queues"] == 2
+        assert "L1" in blob["rules"]
+        capsys.readouterr()
+        assert main(["verify", str(out_file)]) == 0
+        assert "DEADLOCK-FREE" in capsys.readouterr().out
+
+    def test_verify_rejects_tampered_plan(self, tmp_path, capsys):
+        out_file = tmp_path / "plan.json"
+        main(["plan", "--bounces", "1", "--out", str(out_file)])
+        blob = json.loads(out_file.read_text())
+        # Sabotage: make a rule decrease the tag, i.e. 2 -> 1 somewhere
+        # a 1 -> 1 rule exists, creating a monotonicity violation.
+        for switch, rules in blob["rules"].items():
+            for rule in rules:
+                if rule[0] == 2 and rule[3] == 2:
+                    rule[3] = 1
+        out_file.write_text(json.dumps(blob))
+        capsys.readouterr()
+        code = main(["verify", str(out_file)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "UNSAFE" in captured.err
+
+
+class TestDemo:
+    def test_fig10_both_modes(self, capsys):
+        code_plain = main(["demo", "fig10", "--duration", "0.2"])
+        out_plain = capsys.readouterr().out
+        code_tagged = main(["demo", "fig10", "--tagger", "--duration", "0.2"])
+        out_tagged = capsys.readouterr().out
+        assert code_plain == 2 and "DEADLOCK" in out_plain
+        assert code_tagged == 0 and "no deadlock" in out_tagged
+
+    def test_fig11_without_tagger_reports_deadlock(self, capsys):
+        code = main(["demo", "fig11", "--duration", "0.15"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "DEADLOCK" in out
+
+    def test_fig11_with_tagger_survives(self, capsys):
+        code = main(["demo", "fig11", "--tagger", "--duration", "0.15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no deadlock" in out
+
+
+class TestErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

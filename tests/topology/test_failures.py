@@ -1,0 +1,82 @@
+"""Tests for failure schedules and samplers."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import (
+    FailureSchedule,
+    RandomLinkFailures,
+    fail_links,
+    testbed_clos,
+)
+
+
+class TestFailureSchedule:
+    def test_apply_until_in_order(self, testbed):
+        sched = FailureSchedule()
+        sched.add(2.0, "L1", "T1", down=True)
+        sched.add(1.0, "L3", "T4", down=True)
+        sched.add(3.0, "L3", "T4", down=False)
+
+        applied = sched.apply_until(testbed, 1.5)
+        assert [e.link for e in applied] == [("L3", "T4")]
+        assert testbed.is_failed("L3", "T4")
+        assert not testbed.is_failed("L1", "T1")
+
+        sched.apply_until(testbed, 2.5)
+        assert testbed.is_failed("L1", "T1")
+
+        sched.apply_until(testbed, 10.0)
+        assert not testbed.is_failed("L3", "T4")
+
+    def test_apply_all_and_reset(self, testbed):
+        sched = FailureSchedule()
+        sched.add(1.0, "L1", "T1")
+        sched.apply_all(testbed)
+        assert testbed.is_failed("L1", "T1")
+        testbed.restore_all()
+        sched.reset()
+        assert sched.apply_until(testbed, 5.0)  # replays after reset
+
+
+class TestRandomLinkFailures:
+    def test_candidates_exclude_host_links(self, testbed):
+        sampler = RandomLinkFailures(testbed, prob=0.5, seed=1)
+        for a, b in sampler.candidates:
+            assert testbed.node(a).is_switch and testbed.node(b).is_switch
+
+    def test_prob_zero_and_one(self, testbed):
+        assert RandomLinkFailures(testbed, 0.0, seed=1).sample() == set()
+        everything = RandomLinkFailures(testbed, 1.0, seed=1).sample()
+        assert len(everything) == 16  # 8 ToR-leaf + 8 leaf-spine links
+
+    def test_apply_sample_clears_previous(self, testbed):
+        sampler = RandomLinkFailures(testbed, prob=1.0, seed=1)
+        sampler.apply_sample()
+        assert len(testbed.failed_links) == 16
+        zero = RandomLinkFailures(testbed, prob=0.0, seed=1)
+        zero.apply_sample()
+        assert not testbed.failed_links
+
+    def test_fail_exactly(self, testbed):
+        sampler = RandomLinkFailures(testbed, prob=0.0, seed=42)
+        failed = sampler.fail_exactly(3)
+        assert len(failed) == 3
+        assert testbed.failed_links == failed
+        with pytest.raises(TopologyError):
+            sampler.fail_exactly(1000)
+
+    def test_bad_probability(self, testbed):
+        with pytest.raises(TopologyError):
+            RandomLinkFailures(testbed, prob=1.5)
+
+    def test_seeded_reproducibility(self, testbed):
+        a = RandomLinkFailures(testbed, 0.3, seed=9).sample()
+        b = RandomLinkFailures(testbed, 0.3, seed=9).sample()
+        assert a == b
+
+
+def test_fail_links_helper(testbed):
+    fail_links(testbed, [("L1", "T1"), ("L3", "T4")])
+    assert testbed.is_failed("T1", "L1")
+    assert testbed.is_failed("T4", "L3")

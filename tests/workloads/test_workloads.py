@@ -1,0 +1,89 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.workloads import (
+    many_to_one,
+    one_to_many,
+    random_pairs,
+    random_permutation_flows,
+)
+
+
+class TestShuffles:
+    def test_many_to_one(self):
+        flows = many_to_one(["H1", "H2", "H3"], "H9", start=1.0)
+        assert len(flows) == 3
+        assert all(f.dst == "H9" for f in flows)
+        assert all(f.start == 1.0 for f in flows)
+        assert {f.src for f in flows} == {"H1", "H2", "H3"}
+
+    def test_one_to_many(self):
+        flows = one_to_many("H9", ["H1", "H2"])
+        assert len(flows) == 2
+        assert all(f.src == "H9" for f in flows)
+
+    def test_sink_cannot_be_source(self):
+        with pytest.raises(SimulationError):
+            many_to_one(["H1", "H2"], "H1")
+        with pytest.raises(SimulationError):
+            one_to_many("H1", ["H1", "H2"])
+
+
+class TestRandomFlows:
+    def test_permutation_is_derangement(self):
+        hosts = [f"H{i}" for i in range(1, 9)]
+        flows = random_permutation_flows(hosts, seed=3)
+        assert len(flows) == 8
+        assert all(f.src != f.dst for f in flows)
+        assert sorted(f.src for f in flows) == sorted(hosts)
+        assert sorted(f.dst for f in flows) == sorted(hosts)
+
+    def test_permutation_seeded(self):
+        hosts = [f"H{i}" for i in range(1, 9)]
+        a = random_permutation_flows(hosts, seed=5)
+        b = random_permutation_flows(hosts, seed=5)
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
+    def test_random_pairs(self):
+        flows = random_pairs(["H1", "H2", "H3"], num_flows=10, seed=1)
+        assert len(flows) == 10
+        assert all(f.src != f.dst for f in flows)
+
+    def test_too_few_hosts(self):
+        with pytest.raises(SimulationError):
+            random_permutation_flows(["H1"])
+        with pytest.raises(SimulationError):
+            random_pairs(["H1"], 3)
+
+
+class TestFlowValidation:
+    def test_flow_rejects_bad_params(self):
+        from repro.simulator import Flow
+
+        with pytest.raises(SimulationError):
+            Flow(src="H1", dst="H1")
+        with pytest.raises(SimulationError):
+            Flow(src="H1", dst="H2", packet_size=0)
+        with pytest.raises(SimulationError):
+            Flow(src="H1", dst="H2", window=0)
+        with pytest.raises(SimulationError):
+            Flow(src="H1", dst="H2", start=2.0, stop=1.0)
+
+    def test_activity_window(self):
+        from repro.simulator import Flow
+
+        flow = Flow(src="H1", dst="H2", start=1.0, stop=2.0)
+        assert not flow.active_at(0.5)
+        assert flow.active_at(1.5)
+        assert not flow.active_at(2.0)
+        endless = Flow(src="H1", dst="H2", start=0.0)
+        assert endless.active_at(100.0)
+
+    def test_pin_path(self):
+        from repro.simulator import pin_path
+
+        pinned = pin_path(("H1", "T1", "L1", "S1"))
+        assert pinned["T1"] == "L1"
+        assert pinned["L1"] == "S1"
