@@ -206,6 +206,41 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        oracle_budget=args.oracle_budget,
+        time_budget=args.time_budget,
+        shrink=args.shrink,
+        inject_fault=args.inject_fault,
+        corpus_dir=args.corpus_dir if args.shrink else None,
+        strict_oracle=args.strict_oracle,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  [{violation['scenario_id']}] {violation['detail']}")
+    for entry in report.corpus_entries:
+        print(f"  shrunk counterexample written: {entry.path}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    if args.inject_fault:
+        if report.fault_caught:
+            print(f"injected fault {args.inject_fault!r} was caught")
+            return 0
+        print(
+            f"ERROR: injected fault {args.inject_fault!r} escaped detection",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
@@ -240,6 +275,51 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("--tagger", action="store_true")
     demo.add_argument("--duration", type=float, default=0.3)
     demo.set_defaults(func=cmd_demo)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: cross-check all taggers + simulator oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=7)
+    fuzz.add_argument("--iterations", type=int, default=50)
+    fuzz.add_argument(
+        "--oracle-budget",
+        type=int,
+        default=3,
+        dest="oracle_budget",
+        help="max scenarios replayed through the simulator (0 disables)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        dest="time_budget",
+        help="wall-clock cap in seconds",
+    )
+    fuzz.add_argument("--shrink", action="store_true")
+    fuzz.add_argument(
+        "--inject-fault",
+        type=str,
+        default=None,
+        dest="inject_fault",
+        help="seed an artificial tagger bug (harness self-test); "
+        "exit 0 iff it is caught",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        type=str,
+        default="tests/corpus",
+        dest="corpus_dir",
+        help="where shrunk counterexamples are written (with --shrink)",
+    )
+    fuzz.add_argument(
+        "--strict-oracle",
+        action="store_true",
+        dest="strict_oracle",
+        help="treat a non-deadlocking untagged control run as a violation",
+    )
+    fuzz.add_argument("--report", type=str, default=None)
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -60,9 +60,9 @@ def verify_tagged_graph(graph: TaggedGraph) -> VerificationReport:
     cross = 0
     for src, dst in graph.edges():
         if dst[1] < src[1]:
-            decreasing = (src, dst)
-            break
-        if dst[1] > src[1]:
+            if decreasing is None:
+                decreasing = (src, dst)
+        elif dst[1] > src[1]:
             cross += 1
 
     tag_cycle: Optional[List[TNode]] = None

@@ -1,0 +1,118 @@
+"""Regression corpus: shrunk counterexamples committed under
+``tests/corpus/`` and replayed forever by ``tests/fuzz/test_corpus.py``.
+
+Each entry is one JSON file:
+
+.. code-block:: json
+
+    {
+      "format": 1,
+      "id": "9f2c41d07a3b",
+      "inject_fault": "skip-r2",
+      "violations": ["greedy-unsafe"],
+      "found_by": {"seed": 7, "iteration": 12},
+      "scenario": { ... }
+    }
+
+``inject_fault`` records which artificial bug (if any) the entry
+witnesses: replaying *with* the fault must reproduce the recorded
+violations (the harness still catches the bug), replaying *without* it
+must be clean (the healthy taggers still pass). Entries with
+``inject_fault: null`` are real bugs — those must replay clean after the
+fix that closed them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.fuzz.scenarios import Scenario
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One committed counterexample."""
+
+    scenario: Scenario
+    violations: List[str]
+    inject_fault: Optional[str] = None
+    found_by: Dict[str, Any] = field(default_factory=dict)
+    entry_id: str = ""
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "id": self.entry_id,
+            "inject_fault": self.inject_fault,
+            "violations": sorted(self.violations),
+            "found_by": dict(self.found_by),
+            "scenario": self.scenario.to_dict(),
+        }
+
+
+def entry_id_for(scenario: Scenario, inject_fault: Optional[str]) -> str:
+    """Stable content hash so identical counterexamples dedupe."""
+    canonical = json.dumps(
+        {"scenario": scenario.to_dict(), "fault": inject_fault},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def save_entry(
+    corpus_dir: str,
+    scenario: Scenario,
+    violations: List[str],
+    inject_fault: Optional[str] = None,
+    found_by: Optional[Dict[str, Any]] = None,
+) -> CorpusEntry:
+    """Write (or overwrite, idempotently) one corpus entry file."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    entry = CorpusEntry(
+        scenario=scenario,
+        violations=sorted(violations),
+        inject_fault=inject_fault,
+        found_by=found_by or {},
+        entry_id=entry_id_for(scenario, inject_fault),
+    )
+    entry.path = os.path.join(corpus_dir, f"{entry.entry_id}.json")
+    with open(entry.path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry
+
+
+def load_entry(path: str) -> CorpusEntry:
+    with open(path, "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    if blob.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"corpus entry {path} has unsupported format {blob.get('format')!r}"
+        )
+    return CorpusEntry(
+        scenario=Scenario.from_dict(blob["scenario"]),
+        violations=list(blob.get("violations", [])),
+        inject_fault=blob.get("inject_fault"),
+        found_by=dict(blob.get("found_by", {})),
+        entry_id=blob.get("id", ""),
+        path=path,
+    )
+
+
+def load_corpus(corpus_dir: str) -> List[CorpusEntry]:
+    """All entries in a corpus directory, sorted by id."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if name.endswith(".json"):
+            entries.append(load_entry(os.path.join(corpus_dir, name)))
+    return entries

@@ -1,0 +1,268 @@
+"""Differential cross-check of all taggers on one scenario.
+
+Every scenario's ELP is pushed through four independent implementations
+of the same contract — brute force (Algorithm 1), greedy minimization
+(Algorithm 2), the rule-realizable deterministic minimizer, and (on Clos
+with bounce ELPs) the topology-aware Clos tagger — and the results are
+checked against each other and against Theorem 5.1:
+
+======================  ================================================
+invariant               meaning
+======================  ================================================
+``bruteforce-unsafe``   Algorithm 1 output fails R1/R2
+``greedy-unsafe``       Algorithm 2 output fails R1/R2
+``greedy-dominance``    greedy used MORE tags than brute force
+``greedy-coverage``     greedy lost/invented ingress ports
+``deterministic-unsafe``    deterministic minimizer fails R1/R2
+``deterministic-dominance`` deterministic used more tags than brute force
+``deterministic-coverage``  rules demote an ELP path w/o contradiction
+``rules-inconsistent``  graph -> rules -> graph round trip diverged
+``rules-unsafe``        effective (deployed) rule graph fails R1/R2
+``rules-coverage``      conflict-free rules demote an ELP path
+``clos-unsafe``         Clos tagger's induced graph fails R1/R2
+``clos-tag-count``      Clos tagger used != k + 1 lossless tags
+``clos-coverage``       Clos losslessness disagrees with bounce count
+======================  ================================================
+
+The checks never raise on a violation — they *record* it, so the harness
+can shrink and persist the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core import (
+    ClosTagger,
+    bruteforce_tagging,
+    coverage_report,
+    deterministic_minimize,
+    greedy_minimize,
+    rules_from_tagged_graph,
+    rules_to_tagged_graph,
+    verify_tagged_graph,
+)
+from repro.core.tags import TaggedGraph
+from repro.core.verification import VerificationReport
+from repro.exceptions import ReproError
+from repro.fuzz.faults import CLOS_FAULTS, GRAPH_FAULTS
+from repro.fuzz.scenarios import Scenario
+from repro.routing.base import count_bounces
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, with enough detail to debug it."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of the static differential stage for one scenario."""
+
+    scenario_id: str
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def invariants_violated(self) -> List[str]:
+        return sorted({v.invariant for v in self.violations})
+
+
+def _summary(report: VerificationReport) -> str:
+    if report.decreasing_edge is not None:
+        src, dst = report.decreasing_edge
+        return f"R2 violated: edge {src} -> {dst} decreases the tag"
+    if report.tag_cycle is not None:
+        return f"R1 violated: cycle of {len(report.tag_cycle)} nodes"
+    return "ok"
+
+
+def cross_check(
+    scenario: Scenario, fault: Optional[str] = None
+) -> CrossCheckResult:
+    """Run every applicable tagger on the scenario and check invariants.
+
+    Args:
+        scenario: The case to check.
+        fault: Optional artificial-bug name (see :mod:`repro.fuzz.faults`)
+            injected into the matching stage; used to validate that the
+            harness catches regressions.
+    """
+    result = CrossCheckResult(scenario_id=scenario.scenario_id)
+    topo = scenario.build_topology()
+    elp = scenario.build_elp(topo)
+    result.stats["num_paths"] = len(elp)
+    result.stats["num_switches"] = len(topo.switches)
+    if len(elp) == 0:
+        result.stats["skipped"] = "empty ELP"
+        return result
+
+    # -- Algorithm 1 ---------------------------------------------------
+    bf = bruteforce_tagging(topo, elp.paths)
+    bf_report = verify_tagged_graph(bf)
+    result.stats["bruteforce_tags"] = bf.max_tag
+    if not bf_report.deadlock_free:
+        result.violations.append(
+            Violation("bruteforce-unsafe", _summary(bf_report))
+        )
+
+    # -- Algorithm 2 (+ optional injected bug) -------------------------
+    greedy = greedy_minimize(bf)
+    if fault in GRAPH_FAULTS:
+        greedy = GRAPH_FAULTS[fault](greedy)
+    _check_minimizer(result, topo, elp, bf, greedy, prefix="greedy")
+
+    # -- Deterministic (rule-realizable) minimizer ---------------------
+    try:
+        det = deterministic_minimize(topo, bf)
+    except ReproError as exc:
+        result.violations.append(Violation("deterministic-unsafe", str(exc)))
+    else:
+        det_report = verify_tagged_graph(det.graph)
+        result.stats["deterministic_tags"] = det.num_tags
+        if not det_report.deadlock_free:
+            result.violations.append(
+                Violation("deterministic-unsafe", _summary(det_report))
+            )
+        if det.num_tags > bf.max_tag:
+            result.violations.append(
+                Violation(
+                    "deterministic-dominance",
+                    f"deterministic used {det.num_tags} tags, "
+                    f"brute force {bf.max_tag}",
+                )
+            )
+        lossless, total, demoted = coverage_report(topo, det.tables, elp.paths)
+        if det.contradictions == 0 and lossless != total:
+            result.violations.append(
+                Violation(
+                    "deterministic-coverage",
+                    f"{total - lossless}/{total} ELP paths demoted without "
+                    f"contradictions, e.g. {demoted[0][0]}",
+                )
+            )
+
+    # -- Clos topology-aware tagger ------------------------------------
+    budget = scenario.clos_bounce_budget
+    if budget is not None and not scenario.failed_links:
+        _check_clos(result, topo, elp, budget, fault)
+
+    return result
+
+
+def _check_minimizer(
+    result: CrossCheckResult,
+    topo,
+    elp,
+    bf: TaggedGraph,
+    minimized: TaggedGraph,
+    prefix: str,
+) -> None:
+    """Safety + dominance + coverage + rule-consistency for one minimizer."""
+    report = verify_tagged_graph(minimized)
+    result.stats[f"{prefix}_tags"] = (
+        minimized.max_tag if minimized.nodes else 0
+    )
+    if not report.deadlock_free:
+        result.violations.append(
+            Violation(f"{prefix}-unsafe", _summary(report))
+        )
+    if minimized.nodes and minimized.max_tag > bf.max_tag:
+        result.violations.append(
+            Violation(
+                f"{prefix}-dominance",
+                f"{prefix} used {minimized.max_tag} tags, "
+                f"brute force {bf.max_tag}",
+            )
+        )
+    if minimized.ports() != bf.ports():
+        missing = bf.ports() - minimized.ports()
+        extra = minimized.ports() - bf.ports()
+        result.violations.append(
+            Violation(
+                f"{prefix}-coverage",
+                f"port sets diverged (missing={sorted(missing)[:3]}, "
+                f"extra={sorted(extra)[:3]})",
+            )
+        )
+
+    # Rule compilation must agree with the graph it came from.
+    try:
+        rule_report = rules_from_tagged_graph(topo, minimized)
+        effective = rules_to_tagged_graph(topo, rule_report.tables)
+    except ReproError as exc:
+        result.violations.append(Violation("rules-inconsistent", str(exc)))
+        return
+    eff_verify = verify_tagged_graph(effective) if effective.nodes else None
+    if eff_verify is not None and not eff_verify.deadlock_free:
+        result.violations.append(
+            Violation("rules-unsafe", _summary(eff_verify))
+        )
+    if not rule_report.conflicts:
+        # Conflict-free compilation must preserve the graph's edges
+        # (modulo host-facing egress, which produces no rule) ...
+        eff_edges = set(effective.edges())
+        for edge in minimized.edges():
+            if edge not in eff_edges:
+                result.violations.append(
+                    Violation(
+                        "rules-inconsistent",
+                        f"edge {edge} lost in rule round-trip",
+                    )
+                )
+                break
+        # ... and every ELP path must stay lossless under the rules.
+        lossless, total, demoted = coverage_report(
+            topo, rule_report.tables, elp.paths
+        )
+        if lossless != total:
+            result.violations.append(
+                Violation(
+                    "rules-coverage",
+                    f"{total - lossless}/{total} ELP paths demoted by "
+                    f"conflict-free rules, e.g. {demoted[0][0]}",
+                )
+            )
+
+
+def _check_clos(
+    result: CrossCheckResult, topo, elp, budget: int, fault: Optional[str]
+) -> None:
+    tagger = ClosTagger(topo, max_bounces=budget)
+    if fault in CLOS_FAULTS:
+        tagger = CLOS_FAULTS[fault](tagger)
+    graph = tagger.tagged_graph()
+    report = verify_tagged_graph(graph)
+    result.stats["clos_tags"] = report.num_tags
+    if not report.deadlock_free:
+        result.violations.append(Violation("clos-unsafe", _summary(report)))
+    if report.num_tags != budget + 1:
+        result.violations.append(
+            Violation(
+                "clos-tag-count",
+                f"expected exactly {budget + 1} lossless tags "
+                f"(k + 1), got {report.num_tags}",
+            )
+        )
+    for path in elp.paths:
+        expected = count_bounces(topo, path) <= budget
+        actual = tagger.path_stays_lossless(path)
+        if actual != expected:
+            result.violations.append(
+                Violation(
+                    "clos-coverage",
+                    f"path {path} lossless={actual}, "
+                    f"bounce count says {expected}",
+                )
+            )
+            break

@@ -1,0 +1,95 @@
+"""Artificial tagger bugs for harness self-validation.
+
+A fuzzing harness that never fires is indistinguishable from one that
+cannot fire. Each fault here corrupts one tagging stage in a way a real
+implementation bug plausibly would; the harness (and the committed
+regression corpus) asserts that the cross-check engine catches every one
+of them. Faults are addressed by name so a corpus entry can record which
+bug it witnesses.
+
+Faults deliberately bypass :meth:`TaggedGraph.add_edge`'s monotonicity
+guard where needed — a buggy tagger rewritten in C or P4 would not have
+that guard either, and requirement R2 must be caught by *verification*,
+not by construction alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.clos import ClosTagger
+from repro.core.tags import TaggedGraph, TNode
+from repro.exceptions import ReproError
+
+
+class FaultError(ReproError):
+    """Unknown fault name requested."""
+
+
+def _rebuild_unchecked(graph: TaggedGraph, remap) -> TaggedGraph:
+    """Rebuild ``graph`` with nodes remapped, skipping the R2 edge guard."""
+    out = TaggedGraph()
+    mapping: Dict[TNode, TNode] = {node: remap(node) for node in graph.nodes}
+    for node in mapping.values():
+        out.add_node(node)
+    for src, dst in graph.edges():
+        new_src, new_dst = mapping[src], mapping[dst]
+        out._out[new_src].add(new_dst)
+        out._in[new_dst].add(new_src)
+    return out
+
+
+def skip_r2(graph: TaggedGraph) -> TaggedGraph:
+    """Reverse the tag order: edges now *decrease* the tag (violates R2).
+
+    Models a tagger that got the monotonicity direction wrong. On graphs
+    with a single tag this is the identity (nothing to catch).
+    """
+    top = graph.max_tag
+    return _rebuild_unchecked(
+        graph, lambda node: (node[0], top + 1 - node[1])
+    )
+
+
+def collapse_tags(graph: TaggedGraph) -> TaggedGraph:
+    """Merge every node into tag 1, ignoring the CBD-free constraint.
+
+    Models a minimizer whose sandbox acyclicity check is broken: the
+    moment the ELP contains a buffer cycle (any bounce pair), the single
+    remaining class contains it too (violates R1).
+    """
+    return _rebuild_unchecked(graph, lambda node: (node[0], 1))
+
+
+class _NoBounceClosTagger(ClosTagger):
+    """Clos tagger that fails to recognize bounces (never increments)."""
+
+    def is_bounce(self, switch: str, in_port: int, out_port: int) -> bool:
+        return False
+
+
+def clos_ignore_bounce(tagger: ClosTagger) -> ClosTagger:
+    return _NoBounceClosTagger(topo=tagger.topo, max_bounces=tagger.max_bounces)
+
+
+#: Greedy-stage faults: TaggedGraph -> corrupted TaggedGraph.
+GRAPH_FAULTS: Dict[str, Callable[[TaggedGraph], TaggedGraph]] = {
+    "skip-r2": skip_r2,
+    "collapse-tags": collapse_tags,
+}
+
+#: Clos-stage faults: ClosTagger -> corrupted ClosTagger.
+CLOS_FAULTS: Dict[str, Callable[[ClosTagger], ClosTagger]] = {
+    "clos-ignore-bounce": clos_ignore_bounce,
+}
+
+#: All fault names, for CLI/corpus validation.
+FAULTS = tuple(sorted(set(GRAPH_FAULTS) | set(CLOS_FAULTS)))
+
+
+def check_fault_name(name: str) -> str:
+    if name not in FAULTS:
+        raise FaultError(
+            f"unknown fault {name!r}; available: {', '.join(FAULTS)}"
+        )
+    return name

@@ -1,0 +1,264 @@
+"""Fuzzing orchestrator: generate -> cross-check -> oracle -> shrink.
+
+:func:`run_fuzz` is what ``repro-tagger fuzz`` drives. Each iteration
+draws one scenario from the seeded generator, runs the static
+differential cross-check (optionally with an injected fault, to prove
+the harness catches regressions), and — within a configurable budget —
+replays CBD-prone scenarios through the simulator oracle. Failing
+scenarios are shrunk with delta debugging and persisted to the
+regression corpus.
+
+The report is JSON-serializable so CI and humans consume the same
+artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.fuzz.corpus import CorpusEntry, save_entry
+from repro.fuzz.crosscheck import cross_check
+from repro.fuzz.faults import check_fault_name
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.scenarios import Scenario, ScenarioGenerator
+from repro.fuzz.shrink import shrink_scenario
+
+#: Oracle invariants (layered on top of the cross-check table).
+ORACLE_TAGGED_DEADLOCK = "oracle-tagged-deadlock"
+ORACLE_INSENSITIVE = "oracle-insensitive"
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzzing run."""
+
+    seed: int = 7
+    iterations: int = 50
+    #: Max scenarios replayed through the simulator (0 disables the stage).
+    oracle_budget: int = 3
+    #: Wall-clock cap in seconds (None = unlimited); checked per iteration.
+    time_budget: Optional[float] = None
+    shrink: bool = True
+    #: Artificial bug injected into every iteration (harness self-test).
+    inject_fault: Optional[str] = None
+    #: Where shrunk counterexamples are written (None = don't persist).
+    corpus_dir: Optional[str] = None
+    #: Treat a non-deadlocking untagged control run as a violation.
+    strict_oracle: bool = False
+    oracle_duration: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.inject_fault is not None:
+            check_fault_name(self.inject_fault)
+
+
+@dataclass
+class FuzzReport:
+    """Machine-readable outcome of one fuzzing run."""
+
+    config: FuzzConfig
+    iterations_run: int = 0
+    scenarios_by_kind: Dict[str, int] = field(default_factory=dict)
+    invariant_checks: int = 0
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    oracle_runs: int = 0
+    oracle_skips: int = 0
+    oracle_control_deadlocks: int = 0
+    oracle_misses: List[str] = field(default_factory=list)
+    corpus_entries: List[CorpusEntry] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def fault_caught(self) -> bool:
+        """With an injected fault: did at least one iteration fire?"""
+        return bool(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.config.seed,
+            "iterations": self.iterations_run,
+            "inject_fault": self.config.inject_fault,
+            "scenarios_by_kind": dict(sorted(self.scenarios_by_kind.items())),
+            "invariant_checks": self.invariant_checks,
+            "violations": self.violations,
+            "oracle": {
+                "runs": self.oracle_runs,
+                "skips": self.oracle_skips,
+                "control_deadlocks": self.oracle_control_deadlocks,
+                "misses": self.oracle_misses,
+            },
+            "corpus_entries": [
+                {"id": e.entry_id, "path": e.path, "violations": e.violations}
+                for e in self.corpus_entries
+            ],
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        verdict = "CLEAN" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.scenarios_by_kind.items())
+        )
+        return (
+            f"{verdict}: {self.iterations_run} scenario(s) [{kinds}], "
+            f"{self.invariant_checks} invariant checks, oracle "
+            f"{self.oracle_runs} run(s) / {self.oracle_control_deadlocks} "
+            f"control deadlock(s), {len(self.corpus_entries)} corpus "
+            f"entr(y/ies), {self.elapsed_seconds:.1f}s"
+        )
+
+
+#: Static invariants evaluated per scenario (for the checks counter).
+_CHECKS_PER_SCENARIO = 13
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run the full differential fuzzing loop."""
+    started = time.monotonic()
+    report = FuzzReport(config=config)
+    generator = ScenarioGenerator(config.seed)
+    oracle_left = config.oracle_budget
+
+    for iteration in range(config.iterations):
+        if (
+            config.time_budget is not None
+            and time.monotonic() - started > config.time_budget
+        ):
+            break
+        scenario = next(generator)
+        report.iterations_run += 1
+        report.scenarios_by_kind[scenario.kind] = (
+            report.scenarios_by_kind.get(scenario.kind, 0) + 1
+        )
+
+        try:
+            result = cross_check(scenario, fault=config.inject_fault)
+        except ReproError as exc:
+            report.violations.append(
+                {
+                    "scenario_id": scenario.scenario_id,
+                    "invariant": "harness-error",
+                    "detail": str(exc),
+                }
+            )
+            continue
+        report.invariant_checks += _CHECKS_PER_SCENARIO
+        if not result.ok:
+            _record_failure(report, scenario, result.invariants_violated(),
+                            [str(v) for v in result.violations], iteration)
+            continue  # don't feed a statically-broken scenario to the oracle
+
+        if oracle_left > 0:
+            outcome = run_oracle(scenario, duration=config.oracle_duration)
+            if not outcome.ran:
+                report.oracle_skips += 1
+                if outcome.control_deadlocked:
+                    report.oracle_control_deadlocks += 1
+            else:
+                oracle_left -= 1
+                report.oracle_runs += 1
+                if outcome.control_deadlocked:
+                    report.oracle_control_deadlocks += 1
+                else:
+                    report.oracle_misses.append(scenario.scenario_id)
+                    if config.strict_oracle:
+                        report.violations.append(
+                            {
+                                "scenario_id": scenario.scenario_id,
+                                "invariant": ORACLE_INSENSITIVE,
+                                "detail": "untagged control run with a CBD "
+                                "path pair did not deadlock",
+                            }
+                        )
+                if outcome.tagged_deadlocked:
+                    _record_failure(
+                        report,
+                        scenario,
+                        [ORACLE_TAGGED_DEADLOCK],
+                        [
+                            f"{ORACLE_TAGGED_DEADLOCK}: simulator found a "
+                            f"wait-for cycle under the Tagger plan "
+                            f"(trigger={outcome.trigger_pair}, "
+                            f"pairs_tried={outcome.pairs_tried})"
+                        ],
+                        iteration,
+                        shrinkable=False,
+                    )
+
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _record_failure(
+    report: FuzzReport,
+    scenario: Scenario,
+    invariants: List[str],
+    details: List[str],
+    iteration: int,
+    shrinkable: bool = True,
+) -> None:
+    config = report.config
+    for detail in details:
+        report.violations.append(
+            {
+                "scenario_id": scenario.scenario_id,
+                "invariant": detail.split(":", 1)[0],
+                "detail": detail,
+            }
+        )
+    if not (config.shrink and shrinkable and config.corpus_dir):
+        return
+    try:
+        shrunk, still = shrink_scenario(
+            scenario, fault=config.inject_fault, targets=invariants
+        )
+    except ReproError:
+        shrunk, still = scenario, invariants
+    entry = save_entry(
+        config.corpus_dir,
+        shrunk,
+        violations=still or invariants,
+        inject_fault=config.inject_fault,
+        found_by={"seed": config.seed, "iteration": iteration},
+    )
+    report.corpus_entries.append(entry)
+
+
+def replay_entry(entry: CorpusEntry) -> Dict[str, Any]:
+    """Replay one corpus entry both ways (with and without its fault).
+
+    Returns a dict with ``reproduced`` (the recorded violations fire
+    with the fault injected) and ``clean_without_fault`` (the healthy
+    pipeline passes on the same scenario).
+    """
+    with_fault = cross_check(entry.scenario, fault=entry.inject_fault)
+    if entry.inject_fault is None:
+        # A real-bug entry: after the fix that closed it, it must replay
+        # clean forever.
+        return {
+            "id": entry.entry_id,
+            "reproduced": None,
+            "clean_without_fault": with_fault.ok,
+            "violations_seen": with_fault.invariants_violated(),
+            "ok": with_fault.ok,
+        }
+    clean = cross_check(entry.scenario, fault=None)
+    reproduced = bool(
+        set(entry.violations) & set(with_fault.invariants_violated())
+    )
+    return {
+        "id": entry.entry_id,
+        "reproduced": reproduced,
+        "clean_without_fault": clean.ok,
+        "violations_seen": with_fault.invariants_violated(),
+        "ok": reproduced and clean.ok,
+    }

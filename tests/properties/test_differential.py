@@ -1,0 +1,79 @@
+"""Property-based differential tests (hypothesis) across the taggers.
+
+Complements ``test_tagging_properties.py``: instead of hand-built Clos
+strategies, these drive the fuzzer's own scenario generator, so hypothesis
+shrinks over the whole scenario space (Clos with failures, Jellyfish,
+BCube with rotated routes, express links) while asserting the
+cross-check invariants directly.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bruteforce_tagging,
+    greedy_minimize,
+    rules_from_tagged_graph,
+    rules_to_tagged_graph,
+    verify_tagged_graph,
+)
+from repro.fuzz import ScenarioGenerator, cross_check
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**20)
+
+
+def scenario_for(seed: int):
+    return next(ScenarioGenerator(seed))
+
+
+@given(seeds)
+@SETTINGS
+def test_random_scenarios_cross_check_clean(seed):
+    """No invariant of the 13-row differential table ever fires on a
+
+    healthy pipeline, whatever the generator draws."""
+    result = cross_check(scenario_for(seed))
+    assert result.ok, [str(v) for v in result.violations]
+
+
+@given(seeds)
+@SETTINGS
+def test_greedy_dominates_bruteforce_tag_count(seed):
+    scenario = scenario_for(seed)
+    topo = scenario.build_topology()
+    elp = scenario.build_elp(topo)
+    if len(elp) == 0:
+        return
+    bf = bruteforce_tagging(topo, elp.paths)
+    merged = greedy_minimize(bf)
+    assert verify_tagged_graph(merged).deadlock_free
+    if merged.nodes:
+        assert merged.max_tag <= bf.max_tag
+        assert merged.ports() == bf.ports()
+
+
+@given(seeds)
+@SETTINGS
+def test_rules_round_trip_matches_graph(seed):
+    """Compiling a tagged graph to match-action rules and re-deriving the
+
+    effective graph must preserve safety; conflict-free compilation must
+    preserve the edge set exactly."""
+    scenario = scenario_for(seed)
+    topo = scenario.build_topology()
+    elp = scenario.build_elp(topo)
+    if len(elp) == 0:
+        return
+    merged = greedy_minimize(bruteforce_tagging(topo, elp.paths))
+    report = rules_from_tagged_graph(topo, merged)
+    effective = rules_to_tagged_graph(topo, report.tables)
+    if effective.nodes:
+        assert verify_tagged_graph(effective).deadlock_free
+    if not report.conflicts:
+        assert set(effective.edges()) == set(merged.edges())
