@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro``)::
     # Re-verify a previously exported plan (Theorem 5.1 on the rules).
     repro-tagger verify plan.json
 
+    # Statically certify the compiled artifact (rules, TCAM, queues).
+    repro-tagger lint plan.json --json lint-report.json
+
     # Run the Fig. 10 deadlock demo in the simulator.
     repro-tagger demo fig10
 """
@@ -20,7 +23,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.lint import LintReport
 
 from repro.core import (
     TaggerPlan,
@@ -129,12 +135,18 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_verify(args: argparse.Namespace) -> int:
-    with open(args.plan_file, "r", encoding="utf-8") as handle:
+def _load_plan_artifacts(
+    plan_file: str,
+) -> Tuple[Dict[str, Any], Topology, Dict[str, RuleTable]]:
+    with open(plan_file, "r", encoding="utf-8") as handle:
         blob = json.load(handle)
     generator = argparse.Namespace(**blob["generator"])
     topo = build_topology(generator)
-    tables = dict_to_tables(blob)
+    return blob, topo, dict_to_tables(blob)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    blob, topo, tables = _load_plan_artifacts(args.plan_file)
     try:
         # Tag-decreasing rules are rejected while rebuilding the graph;
         # per-tag cycles by the verification proper.
@@ -145,6 +157,54 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return 1
     print(f"fabric: {topo}")
     print(f"verification: {report.summary()}")
+    if args.lint:
+        lint_report = _lint_blob(blob, topo, tables, tcam_budget=None)
+        print(f"lint: {lint_report.summary()}")
+        if not lint_report.ok:
+            for diag in lint_report.errors:
+                print(diag.render(), file=sys.stderr)
+            return 1
+    return 0
+
+
+def _lint_blob(
+    blob: Dict[str, Any],
+    topo: Topology,
+    tables: Dict[str, RuleTable],
+    tcam_budget: Optional[int],
+) -> "LintReport":
+    from repro.core.pipeline import QueueMap
+    from repro.lint import DeploymentArtifact, lint_artifact
+
+    num_queues = int(blob.get("num_lossless_queues", 0))
+    queue_map = QueueMap.identity(num_queues) if num_queues else None
+    artifact = DeploymentArtifact(
+        topo=topo,
+        tables=tables,
+        queue_map=queue_map,
+        tcam_budget=tcam_budget,
+    )
+    return lint_artifact(artifact)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static certification of an exported plan's deployment artifacts.
+
+    Exit codes are CI-friendly: 0 when no error-severity findings (2
+    with ``--strict`` if warnings remain), 1 on errors.
+    """
+    blob, topo, tables = _load_plan_artifacts(args.plan_file)
+    report = _lint_blob(blob, topo, tables, tcam_budget=args.tcam_budget)
+    print(f"fabric: {topo}")
+    print(report.render_text())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"machine-readable report written to {args.json}")
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings:
+        return 2
     return 0
 
 
@@ -268,7 +328,37 @@ def make_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="re-verify an exported plan")
     verify.add_argument("plan_file")
+    verify.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the deployment linter on the plan's artifacts",
+    )
     verify.set_defaults(func=cmd_verify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically certify an exported plan's deployment artifacts",
+    )
+    lint.add_argument("plan_file")
+    lint.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the machine-readable diagnostics report here",
+    )
+    lint.add_argument(
+        "--tcam-budget",
+        type=int,
+        default=None,
+        dest="tcam_budget",
+        help="per-switch TCAM entry budget (enables B301)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     demo = sub.add_parser("demo", help="run a deadlock scenario")
     demo.add_argument("scenario", choices=("fig10", "fig11"))

@@ -21,6 +21,9 @@ from repro.core.compression import (
     compress_joint,
     compression_stats,
     expand,
+    first_match,
+    safeguard_entry,
+    tcam_program,
 )
 from repro.core.elp import (
     ElpSet,
@@ -85,6 +88,9 @@ __all__ = [
     "compress_joint",
     "compression_stats",
     "expand",
+    "first_match",
+    "safeguard_entry",
+    "tcam_program",
     "ElpSet",
     "bcube_elp",
     "clos_bounce_elp",

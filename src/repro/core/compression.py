@@ -14,14 +14,22 @@ tag and rewrite action therefore compress:
 
 :func:`expand` inverts the compression (used by the round-trip property
 tests).
+
+An installed switch program is an *ordered* entry list with first-match
+semantics and a trailing wildcard safeguard that demotes everything the
+explicit entries miss (paper footnote 3). :func:`tcam_program` builds
+one from a rule table, :func:`first_match` evaluates it exactly the way
+the hardware would, and the deployment linter (:mod:`repro.lint`)
+certifies arbitrary programs against their exact-rule reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rules import MatchActionRule, RuleTable
+from repro.core.tags import LOSSY_TAG
 from repro.exceptions import RuleError
 
 
@@ -30,17 +38,23 @@ class TcamEntry:
     """One TCAM entry: bitmap match on ports, exact match on tag.
 
     ``in_ports`` / ``out_ports`` are frozen sets of port numbers (the
-    bitmap abstraction); ``new_tag`` is the rewrite result.
+    bitmap abstraction); ``new_tag`` is the rewrite result. ``tag`` may
+    be ``None``, the wildcard: the entry then matches *any* tag — that is
+    how the trailing safeguard default is expressed in hardware.
     """
 
-    tag: int
+    tag: Optional[int]
     in_ports: FrozenSet[int]
     out_ports: FrozenSet[int]
     new_tag: int
 
+    @property
+    def is_wildcard(self) -> bool:
+        return self.tag is None
+
     def matches(self, tag: int, in_port: int, out_port: int) -> bool:
         return (
-            tag == self.tag
+            (self.tag is None or tag == self.tag)
             and in_port in self.in_ports
             and out_port in self.out_ports
         )
@@ -109,18 +123,35 @@ def compress_joint(rules: Sequence[MatchActionRule]) -> List[TcamEntry]:
     return sorted(entries, key=_entry_key)
 
 
-def _entry_key(entry: TcamEntry) -> Tuple:
-    return (entry.tag, entry.new_tag, sorted(entry.in_ports), sorted(entry.out_ports))
+def _entry_key(entry: TcamEntry) -> Tuple[int, int, int, List[int], List[int]]:
+    # Wildcard (safeguard) entries sort last: in an ordered program they
+    # must sit behind every explicit entry.
+    return (
+        1 if entry.tag is None else 0,
+        entry.tag if entry.tag is not None else 0,
+        entry.new_tag,
+        sorted(entry.in_ports),
+        sorted(entry.out_ports),
+    )
 
 
 def expand(entries: Sequence[TcamEntry]) -> List[MatchActionRule]:
     """Invert compression back to exact-match rules (sorted, deduplicated).
 
-    Raises :class:`RuleError` if two entries overlap with different
-    actions — compressed tables produced by this module never do.
+    Wildcard-tag entries that demote (safeguard defaults) are skipped —
+    they carry no lossless rule; any other wildcard entry is rejected, as
+    it has no finite exact-rule expansion. Raises :class:`RuleError` if
+    two entries overlap with different actions — compressed tables
+    produced by this module never do.
     """
     seen: Dict[Tuple[int, int, int], int] = {}
     for entry in entries:
+        if entry.tag is None:
+            if entry.new_tag == LOSSY_TAG:
+                continue  # safeguard default: implicit in RuleTable.lookup
+            raise RuleError(
+                "cannot expand a wildcard-tag entry with a lossless rewrite"
+            )
         for in_port in entry.in_ports:
             for out_port in entry.out_ports:
                 key = (entry.tag, in_port, out_port)
@@ -165,3 +196,39 @@ def compression_stats(table: RuleTable) -> CompressionStats:
         in_port_aggregated=len(compress_in_ports(rules)),
         joint_aggregated=len(compress_joint(rules)),
     )
+
+
+# ----------------------------------------------------------------------
+# Ordered programs (what actually ships to a switch)
+# ----------------------------------------------------------------------
+def safeguard_entry(ports: Iterable[int]) -> TcamEntry:
+    """The catch-all final entry: any tag, any port pair, demote to lossy."""
+    port_set = frozenset(ports)
+    return TcamEntry(
+        tag=None, in_ports=port_set, out_ports=port_set, new_tag=LOSSY_TAG
+    )
+
+
+def tcam_program(table: RuleTable, ports: Iterable[int]) -> List[TcamEntry]:
+    """Ordered first-match TCAM program for one switch.
+
+    Joint-compressed entries (mutually non-overlapping, so their relative
+    order is free) followed by the wildcard safeguard over ``ports`` —
+    "this rule is always the last one in the TCAM rule list" (paper
+    footnote 3).
+    """
+    return compress_joint(table.as_rules()) + [safeguard_entry(ports)]
+
+
+def first_match(
+    entries: Sequence[TcamEntry], tag: int, in_port: int, out_port: int
+) -> Optional[int]:
+    """Evaluate an ordered program the way hardware does.
+
+    Returns the rewrite of the first matching entry, or ``None`` when no
+    entry matches at all (a program missing its safeguard default).
+    """
+    for entry in entries:
+        if entry.matches(tag, in_port, out_port):
+            return entry.new_tag
+    return None

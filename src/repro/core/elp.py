@@ -16,7 +16,7 @@ trust the paths it holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.exceptions import TaggingError
 from repro.routing.base import Path, is_loop_free, validate_path
@@ -49,7 +49,7 @@ class ElpSet:
     def __len__(self) -> int:
         return len(self.paths)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Path]:
         return iter(self.paths)
 
     def longest_hops(self) -> int:

@@ -17,7 +17,7 @@ graph — packets leave the graph when demoted.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import TaggingError
 from repro.topology.base import Topology
@@ -205,7 +205,7 @@ class TaggedGraph:
     # ------------------------------------------------------------------
     # Export / comparison
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a :class:`networkx.DiGraph` (nodes are TNode tuples)."""
         import networkx as nx
 

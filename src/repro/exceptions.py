@@ -36,6 +36,10 @@ class RuleError(ReproError):
     """Match-action rule generation or compression failed."""
 
 
+class LintError(ReproError):
+    """The deployment linter was given an artifact it cannot analyze."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was configured or driven incorrectly."""
 

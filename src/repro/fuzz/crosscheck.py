@@ -22,6 +22,9 @@ invariant               meaning
 ``clos-unsafe``         Clos tagger's induced graph fails R1/R2
 ``clos-tag-count``      Clos tagger used != k + 1 lossless tags
 ``clos-coverage``       Clos losslessness disagrees with bounce count
+``lint-dirty``          deployment linter found error-severity findings
+                        in the compiled artifact (rules + TCAM programs
+                        + queue map; see :mod:`repro.lint`)
 ======================  ================================================
 
 The checks never raise on a violation — they *record* it, so the harness
@@ -43,11 +46,13 @@ from repro.core import (
     rules_to_tagged_graph,
     verify_tagged_graph,
 )
-from repro.core.tags import TaggedGraph
+from repro.core.pipeline import QueueMap
+from repro.core.tags import INITIAL_TAG, LOSSY_TAG, TaggedGraph
 from repro.core.verification import VerificationReport
 from repro.exceptions import ReproError
-from repro.fuzz.faults import CLOS_FAULTS, GRAPH_FAULTS
+from repro.fuzz.faults import ARTIFACT_FAULTS, CLOS_FAULTS, GRAPH_FAULTS
 from repro.fuzz.scenarios import Scenario
+from repro.lint import DeploymentArtifact, lint_artifact
 from repro.routing.base import count_bounces
 
 
@@ -151,6 +156,9 @@ def cross_check(
                     f"contradictions, e.g. {demoted[0][0]}",
                 )
             )
+        # Every compiled artifact must lint clean (with an artifact-stage
+        # fault injected first, the linter must catch the corruption).
+        _check_lint(result, topo, det.tables, fault)
 
     # -- Clos topology-aware tagger ------------------------------------
     budget = scenario.clos_bounce_budget
@@ -233,6 +241,42 @@ def _check_minimizer(
                     f"conflict-free rules, e.g. {demoted[0][0]}",
                 )
             )
+
+
+def _check_lint(
+    result: CrossCheckResult,
+    topo,
+    tables,
+    fault: Optional[str],
+) -> None:
+    """Static artifact certification of the compiled deployment.
+
+    The linter re-derives R1/R2 from the rule tables alone and checks
+    TCAM order semantics, reachability, and queue fit — an independent
+    pass over deployed reality rather than planner state.
+    """
+    max_tag = max(
+        (
+            max(key[0], new_tag)
+            for table in tables.values()
+            for key, new_tag in table.rules.items()
+            if new_tag != LOSSY_TAG
+        ),
+        default=0,
+    )
+    # Injected packets always carry the initial tag, even when the
+    # tables hold no lossless rules at all — the map must cover it.
+    max_tag = max(max_tag, INITIAL_TAG)
+    queue_map = QueueMap.identity(max_tag, max(8, max_tag))
+    artifact = DeploymentArtifact(
+        topo=topo, tables=tables, queue_map=queue_map
+    )
+    if fault in ARTIFACT_FAULTS:
+        artifact = ARTIFACT_FAULTS[fault](artifact)
+    lint = lint_artifact(artifact)
+    result.stats["lint_diagnostics"] = len(lint.diagnostics)
+    for diag in lint.errors[:5]:
+        result.violations.append(Violation("lint-dirty", diag.render()))
 
 
 def _check_clos(

@@ -15,11 +15,14 @@ not by construction alone.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from repro.core.clos import ClosTagger
-from repro.core.tags import TaggedGraph, TNode
+from repro.core.compression import TcamEntry
+from repro.core.rules import RuleTable
+from repro.core.tags import INITIAL_TAG, TaggedGraph, TNode
 from repro.exceptions import ReproError
+from repro.lint.artifact import DeploymentArtifact
 
 
 class FaultError(ReproError):
@@ -72,6 +75,99 @@ def clos_ignore_bounce(tagger: ClosTagger) -> ClosTagger:
     return _NoBounceClosTagger(topo=tagger.topo, max_bounces=tagger.max_bounces)
 
 
+def _copy_tables(tables: Dict[str, RuleTable]) -> Dict[str, RuleTable]:
+    return {
+        switch: RuleTable(
+            switch=switch, rules=dict(table.rules), policy=table.policy
+        )
+        for switch, table in tables.items()
+    }
+
+
+def tcam_shadow(artifact: DeploymentArtifact) -> DeploymentArtifact:
+    """Swap the safeguard with the entry before it on one switch.
+
+    Models a compiler or switch agent that emits entries out of order:
+    the catch-all wildcard now sits *above* a real entry, which is fully
+    shadowed — its packets demote instead of rewriting. The linter must
+    report S101 (and the S104 round-trip divergence). Identity when every
+    program holds only the safeguard.
+    """
+    programs = {
+        switch: list(entries)
+        for switch, entries in artifact.ensure_programs().items()
+    }
+    for switch in sorted(programs):
+        program = programs[switch]
+        if len(program) >= 2:
+            program[-1], program[-2] = program[-2], program[-1]
+            break
+    return artifact.with_programs(programs)
+
+
+def tcam_drop_safeguard(artifact: DeploymentArtifact) -> DeploymentArtifact:
+    """Strip the trailing safeguard default from every program.
+
+    Models forgetting the paper's footnote-3 rule ("always the last one
+    in the TCAM rule list"): unmatched packets keep an undefined tag
+    instead of demoting. The linter must report S105.
+    """
+    programs: Dict[str, List[TcamEntry]] = {}
+    for switch, entries in artifact.ensure_programs().items():
+        kept = list(entries)
+        if kept and kept[-1].is_wildcard:
+            kept.pop()
+        programs[switch] = kept
+    return artifact.with_programs(programs)
+
+
+def rule_decrease_tag(artifact: DeploymentArtifact) -> DeploymentArtifact:
+    """Rewrite one rule to send packets back to the initial tag.
+
+    Models an off-by-one in rule generation that breaks monotonicity
+    (requirement R2). The linter must report T002. Identity on
+    deployments whose every rule matches the initial tag.
+    """
+    tables = _copy_tables(artifact.tables)
+    for switch in sorted(tables):
+        table = tables[switch]
+        for key in sorted(table.rules):
+            if key[0] > INITIAL_TAG:
+                table.rules[key] = INITIAL_TAG
+                return DeploymentArtifact(
+                    topo=artifact.topo,
+                    tables=tables,
+                    queue_map=artifact.queue_map,
+                    tcam_budget=artifact.tcam_budget,
+                )
+    return artifact
+
+
+def rule_tag_cycle(artifact: DeploymentArtifact) -> DeploymentArtifact:
+    """Install a two-rule ping-pong across one switch-to-switch link.
+
+    Models a stale or hand-edited rule pair that closes an intra-tag
+    buffer-dependency cycle (requirement R1). The linter must report
+    T001. Identity on fabrics with no switch-to-switch link.
+    """
+    topo = artifact.topo
+    for link in topo.iter_links(include_failed=True):
+        if not (topo.node(link.a).is_switch and topo.node(link.b).is_switch):
+            continue
+        tables = _copy_tables(artifact.tables)
+        for near, far in ((link.a, link.b), (link.b, link.a)):
+            table = tables.setdefault(near, RuleTable(switch=near))
+            port = topo.port_to(near, far)
+            table.rules[(INITIAL_TAG, port, port)] = INITIAL_TAG
+        return DeploymentArtifact(
+            topo=topo,
+            tables=tables,
+            queue_map=artifact.queue_map,
+            tcam_budget=artifact.tcam_budget,
+        )
+    return artifact
+
+
 #: Greedy-stage faults: TaggedGraph -> corrupted TaggedGraph.
 GRAPH_FAULTS: Dict[str, Callable[[TaggedGraph], TaggedGraph]] = {
     "skip-r2": skip_r2,
@@ -83,8 +179,20 @@ CLOS_FAULTS: Dict[str, Callable[[ClosTagger], ClosTagger]] = {
     "clos-ignore-bounce": clos_ignore_bounce,
 }
 
+#: Artifact-stage faults: corrupt the compiled deployment the linter sees.
+ARTIFACT_FAULTS: Dict[
+    str, Callable[[DeploymentArtifact], DeploymentArtifact]
+] = {
+    "tcam-shadow": tcam_shadow,
+    "tcam-drop-safeguard": tcam_drop_safeguard,
+    "rule-decrease-tag": rule_decrease_tag,
+    "rule-tag-cycle": rule_tag_cycle,
+}
+
 #: All fault names, for CLI/corpus validation.
-FAULTS = tuple(sorted(set(GRAPH_FAULTS) | set(CLOS_FAULTS)))
+FAULTS = tuple(
+    sorted(set(GRAPH_FAULTS) | set(CLOS_FAULTS) | set(ARTIFACT_FAULTS))
+)
 
 
 def check_fault_name(name: str) -> str:

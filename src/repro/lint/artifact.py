@@ -1,0 +1,95 @@
+"""The deployment artifact: exactly what ships to the switches.
+
+The linter deliberately consumes *only* this bundle — per-switch exact
+rule tables, optional ordered TCAM programs, the tag -> queue map, and
+the topology — and never the planner's :class:`~repro.core.tags.TaggedGraph`.
+That independence is the point: the certificate holds for the deployed
+configuration even if the planner that produced it is buggy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.compression import TcamEntry, tcam_program
+from repro.core.pipeline import QueueMap
+from repro.core.rules import RuleTable
+from repro.exceptions import LintError
+from repro.topology.base import Topology
+
+
+@dataclass
+class DeploymentArtifact:
+    """Everything the linter needs, and nothing the planner knows.
+
+    Attributes:
+        topo: The physical topology (wiring and port numbers).
+        tables: Per-switch exact-match rewrite rules (the reference
+            semantics; the safeguard default is implicit in lookup).
+        programs: Optional ordered first-match TCAM programs per switch.
+            When absent, :meth:`ensure_programs` compiles them from the
+            tables — linting then certifies the compiler's own output.
+        queue_map: Tag -> priority queue assignment (``None`` skips the
+            queue-fit checks).
+        tcam_budget: Per-switch entry budget (``None`` skips B301).
+    """
+
+    topo: Topology
+    tables: Dict[str, RuleTable]
+    programs: Optional[Dict[str, List[TcamEntry]]] = None
+    queue_map: Optional[QueueMap] = None
+    tcam_budget: Optional[int] = None
+    _compiled: Dict[str, List[TcamEntry]] = field(
+        default_factory=dict, repr=False, init=False
+    )
+
+    def __post_init__(self) -> None:
+        for switch, table in self.tables.items():
+            if table.policy is not None and not table.rules:
+                raise LintError(
+                    f"table for {switch!r} is policy-backed with no "
+                    "explicit rules; materialize it before linting"
+                )
+
+    def ensure_programs(self) -> Dict[str, List[TcamEntry]]:
+        """The programs under test: provided ones, else compiled now."""
+        if self.programs is not None:
+            return self.programs
+        if not self._compiled:
+            for switch, table in self.tables.items():
+                self._compiled[switch] = tcam_program(
+                    table, self.topo.ports(switch)
+                )
+        return self._compiled
+
+    def with_programs(
+        self, programs: Dict[str, List[TcamEntry]]
+    ) -> "DeploymentArtifact":
+        """Copy of the artifact with explicit programs (fault injection)."""
+        return replace(self, programs=programs)
+
+    @staticmethod
+    def from_plan(
+        plan: "TaggerPlanLike",
+        tcam_budget: Optional[int] = None,
+    ) -> "DeploymentArtifact":
+        """Strip a planner result down to its deployable artifact.
+
+        Accepts anything exposing ``topo``, ``tables`` and ``queue_map``
+        (duck-typed so :mod:`repro.lint` never imports the planner).
+        """
+        return DeploymentArtifact(
+            topo=plan.topo,
+            tables=plan.tables,
+            queue_map=plan.queue_map,
+            tcam_budget=tcam_budget,
+        )
+
+
+class TaggerPlanLike(Protocol):
+    """Structural stand-in for :class:`repro.core.planner.TaggerPlan`."""
+
+    topo: Topology
+    tables: Dict[str, RuleTable]
+    queue_map: QueueMap

@@ -1,0 +1,141 @@
+"""T-family checks: certify Theorem 5.1 from the rule tables alone.
+
+The effective tagged graph is re-derived from the deployed rules via
+:func:`repro.core.rules.rules_to_tagged_graph` — no planner state is
+consulted — and then:
+
+- **T002 / T003 / T004** validate each rule individually (monotone
+  rewrites, valid tag range, existing ports), *before* graph
+  construction, because a malformed rule must surface as a diagnostic
+  rather than as a reconstruction crash;
+- **T001** runs the R1 per-tag cycle search on the reconstructed graph
+  (violating rules are excluded from reconstruction so one bad rule
+  cannot mask a cycle elsewhere).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.rules import MatchKey, RuleTable, rules_to_tagged_graph
+from repro.core.tags import INITIAL_TAG, LOSSY_TAG
+from repro.exceptions import TopologyError
+from repro.lint.diagnostics import Diagnostic, make_diagnostic
+from repro.topology.base import Topology
+
+
+def _valid_rules(
+    topo: Topology,
+    tables: Dict[str, RuleTable],
+    diagnostics: List[Diagnostic],
+) -> Dict[str, RuleTable]:
+    """Per-rule validation (T002-T004); returns only the well-formed rules."""
+    clean: Dict[str, RuleTable] = {}
+    for switch in sorted(tables):
+        table = tables[switch]
+        if switch not in topo.nodes or not topo.node(switch).is_switch:
+            diagnostics.append(
+                make_diagnostic(
+                    "T004",
+                    f"rules installed on unknown switch {switch!r}",
+                    switch=switch,
+                )
+            )
+            continue
+        ports = topo.ports(switch)
+        kept = RuleTable(switch=switch)
+        for key in sorted(table.rules):
+            tag, in_port, out_port = key
+            new_tag = table.rules[key]
+            if not _check_rule(
+                topo, switch, ports, key, new_tag, diagnostics
+            ):
+                continue
+            kept.rules[key] = new_tag
+        clean[switch] = kept
+    return clean
+
+
+def _check_rule(
+    topo: Topology,
+    switch: str,
+    ports: Dict[int, str],
+    key: MatchKey,
+    new_tag: int,
+    diagnostics: List[Diagnostic],
+) -> bool:
+    tag, in_port, out_port = key
+    location = f"({tag},{in_port},{out_port})->{new_tag}"
+    ok = True
+    if tag < INITIAL_TAG or new_tag < LOSSY_TAG:
+        diagnostics.append(
+            make_diagnostic(
+                "T003",
+                f"rule matches tag {tag} / rewrites to {new_tag}; lossless "
+                f"tags start at {INITIAL_TAG} and only {LOSSY_TAG} demotes",
+                switch=switch,
+                location=location,
+            )
+        )
+        ok = False
+    for label, port in (("ingress", in_port), ("egress", out_port)):
+        if port not in ports:
+            diagnostics.append(
+                make_diagnostic(
+                    "T004",
+                    f"rule references {label} port {port}, but {switch!r} "
+                    f"has no such port",
+                    switch=switch,
+                    location=location,
+                )
+            )
+            ok = False
+    if ok and new_tag != LOSSY_TAG and new_tag < tag:
+        diagnostics.append(
+            make_diagnostic(
+                "T002",
+                f"rewrite decreases the tag ({tag} -> {new_tag}); a packet "
+                "could re-enter an earlier priority class and close a "
+                "cross-tag buffer dependency cycle",
+                switch=switch,
+                location=location,
+            )
+        )
+        ok = False
+    return ok
+
+
+def check_graph(
+    topo: Topology, tables: Dict[str, RuleTable]
+) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """Run the T-family checks; returns (diagnostics, graph stats)."""
+    diagnostics: List[Diagnostic] = []
+    clean = _valid_rules(topo, tables, diagnostics)
+    try:
+        graph = rules_to_tagged_graph(topo, clean)
+    except TopologyError as exc:  # pragma: no cover - defense in depth
+        diagnostics.append(
+            make_diagnostic("T004", f"graph reconstruction failed: {exc}")
+        )
+        return diagnostics, {}
+    for tag in graph.tags():
+        cycle = graph.find_tag_cycle(tag)
+        if cycle is None:
+            continue
+        pretty = " -> ".join(f"{sw}:{port}" for (sw, port), _ in cycle)
+        diagnostics.append(
+            make_diagnostic(
+                "T001",
+                f"tag {tag} subgraph contains the buffer-dependency cycle "
+                f"{pretty} -> {cycle[0][0][0]}:{cycle[0][0][1]} "
+                "(requirement R1 fails; this is a CBD)",
+                switch=cycle[0][0][0],
+                location=f"tag {tag}",
+            )
+        )
+    stats = {
+        "graph_nodes": graph.num_nodes,
+        "graph_edges": graph.num_edges,
+        "graph_tags": graph.num_tags,
+    }
+    return diagnostics, stats

@@ -1,0 +1,116 @@
+"""The deployment linter: static certification of compiled rule tables.
+
+:func:`lint_artifact` is the entry point. It consumes a
+:class:`~repro.lint.artifact.DeploymentArtifact` — rule tables, ordered
+TCAM programs, queue map, topology — and re-derives every safety and
+hygiene property from those artifacts alone, without trusting the
+planner that produced them:
+
+1. **T-family** (:mod:`repro.lint.graph_checks`) reconstructs the
+   effective tagged graph and certifies Theorem 5.1's R1 + R2;
+2. **S-family** (:mod:`repro.lint.tcam_checks`) checks first-match TCAM
+   order semantics and round-trip equivalence;
+3. **R-family** (:mod:`repro.lint.reach_checks`) explores reachable
+   packet states to find dead rules, unreachable tags, and lossy dead
+   ends;
+4. **B-family** (:mod:`repro.lint.budget_checks`) enforces TCAM budgets
+   and queue-fit consistency.
+
+A report with zero error-severity findings is a certificate that the
+deployed configuration is deadlock-free and faithful to its own
+compressed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.core.pipeline import QueueMap
+from repro.core.rules import RuleTable
+from repro.lint.artifact import DeploymentArtifact, TaggerPlanLike
+from repro.lint.budget_checks import check_budget, check_queue_fit
+from repro.lint.diagnostics import LintReport
+from repro.lint.graph_checks import check_graph
+from repro.lint.reach_checks import check_reachability
+from repro.lint.tcam_checks import check_tcam
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for one lint run (all checks on by default)."""
+
+    tcam_budget: Optional[int] = None
+    check_tcam: bool = True
+    check_reach: bool = True
+
+
+def lint_artifact(
+    artifact: DeploymentArtifact, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run every check family over a deployment artifact."""
+    config = config or LintConfig()
+    report = LintReport()
+    topo = artifact.topo
+    tables = artifact.tables
+    report.stats["switches"] = len(tables)
+    report.stats["rules"] = sum(len(t.rules) for t in tables.values())
+
+    graph_diags, graph_stats = check_graph(topo, tables)
+    report.extend(graph_diags)
+    report.stats.update(graph_stats)
+
+    if config.check_tcam:
+        programs = artifact.ensure_programs()
+        ports: Dict[str, Set[int]] = {
+            switch: set(topo.ports(switch).keys())
+            for switch in programs
+            if switch in topo.nodes
+        }
+        tcam_diags, tcam_stats = check_tcam(ports, tables, programs)
+        report.extend(tcam_diags)
+        report.stats.update(tcam_stats)
+        budget = (
+            config.tcam_budget
+            if config.tcam_budget is not None
+            else artifact.tcam_budget
+        )
+        report.extend(check_budget(programs, budget))
+
+    if config.check_reach:
+        reach_diags, reach_stats, live_tags = check_reachability(
+            topo, tables, artifact.queue_map
+        )
+        report.extend(reach_diags)
+        report.stats.update(reach_stats)
+        report.extend(check_queue_fit(live_tags, artifact.queue_map))
+
+    return report
+
+
+def lint_tables(
+    topo: Topology,
+    tables: Dict[str, RuleTable],
+    queue_map: Optional[QueueMap] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Convenience wrapper: lint bare rule tables."""
+    artifact = DeploymentArtifact(
+        topo=topo, tables=tables, queue_map=queue_map
+    )
+    return lint_artifact(artifact, config)
+
+
+def lint_plan(
+    plan: TaggerPlanLike,
+    tcam_budget: Optional[int] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint the deployable artifact of a planner result.
+
+    Only the plan's *artifacts* (tables, queue map, topology) are read;
+    its tagged graph is deliberately ignored.
+    """
+    artifact = DeploymentArtifact.from_plan(plan, tcam_budget=tcam_budget)
+    return lint_artifact(artifact, config)

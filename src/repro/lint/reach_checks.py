@@ -1,0 +1,176 @@
+"""R-family checks: explore reachable (tag, ingress-port) packet states.
+
+Starting from the host injection points — every host-facing switch port,
+with :data:`~repro.core.tags.INITIAL_TAG` — the linter closes over the
+deployed rules exactly the way packets would: a rule
+``(tag, in_port, out_port) -> new_tag`` moves the state to the far-end
+switch's ingress port carrying ``new_tag`` (demotions leave the lossless
+world and end exploration). On host-free fabrics (paths between
+switches) every switch-facing port doubles as an injection point.
+
+From the reachable set the linter flags:
+
+- **R201** rules whose match state never occurs (dead TCAM space);
+- **R202** tags no reachable packet ever carries;
+- **R203** reachable states whose every continuation demotes and whose
+  switch has no host to deliver to — packets there can only make
+  progress by dropping out of the lossless class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.pipeline import QueueMap
+from repro.core.rules import RuleTable
+from repro.core.tags import INITIAL_TAG, LOSSY_TAG
+from repro.exceptions import TopologyError
+from repro.lint.diagnostics import Diagnostic, make_diagnostic
+from repro.topology.base import Topology
+
+#: A packet state: (switch, ingress port, carried tag).
+State = Tuple[str, int, int]
+
+
+def injection_states(topo: Topology) -> Set[State]:
+    """Where fresh lossless packets can enter the fabric.
+
+    Host-facing switch ports with the initial tag; when the topology has
+    no hosts at all (switch-to-switch ELPs), every switch port instead.
+    """
+    states: Set[State] = set()
+    has_hosts = bool(topo.hosts)
+    for switch in topo.switches:
+        for port, peer in topo.ports(switch).items():
+            if not has_hosts or topo.node(peer).is_host:
+                states.add((switch, port, INITIAL_TAG))
+    return states
+
+
+def explore(
+    topo: Topology, tables: Dict[str, RuleTable]
+) -> Tuple[Set[State], Set[Tuple[str, int, int, int]], Set[int]]:
+    """BFS closure over the rules from the injection points.
+
+    Returns ``(reachable states, fired rule keys as (switch, tag,
+    in_port, out_port), live tags)``. Live tags include every tag a
+    reachable state carries plus rewrite results applied on delivery
+    hops (the packet occupies an egress queue under the new tag even
+    when the far end is a host).
+    """
+    reachable: Set[State] = set()
+    fired: Set[Tuple[str, int, int, int]] = set()
+    live_tags: Set[int] = set()
+    queue = deque(sorted(injection_states(topo)))
+    reachable.update(queue)
+    while queue:
+        switch, in_port, tag = queue.popleft()
+        live_tags.add(tag)
+        table = tables.get(switch)
+        if table is None:
+            continue
+        for (rule_tag, rule_in, out_port), new_tag in table.rules.items():
+            if rule_tag != tag or rule_in != in_port:
+                continue
+            fired.add((switch, rule_tag, rule_in, out_port))
+            if new_tag == LOSSY_TAG:
+                continue
+            live_tags.add(new_tag)
+            try:
+                peer = topo.peer_on_port(switch, out_port)
+            except TopologyError:  # unknown port: T004's business, not ours
+                continue
+            if not topo.node(peer).is_switch:
+                continue
+            state = (peer, topo.port_to(peer, switch), new_tag)
+            if state not in reachable:
+                reachable.add(state)
+                queue.append(state)
+    return reachable, fired, live_tags
+
+
+def check_reachability(
+    topo: Topology,
+    tables: Dict[str, RuleTable],
+    queue_map: Optional[QueueMap] = None,
+) -> Tuple[List[Diagnostic], Dict[str, int], Set[int]]:
+    """Run the R-family checks; returns (diagnostics, stats, live tags)."""
+    diagnostics: List[Diagnostic] = []
+    reachable, fired, live_tags = explore(topo, tables)
+
+    # R201 — rules that can never fire.
+    dead_rules = 0
+    for switch in sorted(tables):
+        for key in sorted(tables[switch].rules):
+            tag, in_port, out_port = key
+            if (switch, tag, in_port, out_port) not in fired:
+                dead_rules += 1
+                diagnostics.append(
+                    make_diagnostic(
+                        "R201",
+                        f"no packet injected at a host ever arrives on "
+                        f"port {in_port} carrying tag {tag}; the rule is "
+                        "dead TCAM space",
+                        switch=switch,
+                        location=f"({tag},{in_port},{out_port})",
+                    )
+                )
+
+    # R202 — tags nobody can ever carry.
+    mentioned: Set[int] = set()
+    for table in tables.values():
+        for (tag, _, _), new_tag in table.rules.items():
+            mentioned.add(tag)
+            if new_tag != LOSSY_TAG:
+                mentioned.add(new_tag)
+    if queue_map is not None:
+        mentioned.update(tag for tag, _ in queue_map.mapping)
+    for tag in sorted(mentioned - live_tags):
+        diagnostics.append(
+            make_diagnostic(
+                "R202",
+                f"tag {tag} appears in the deployment but no reachable "
+                "packet state ever carries it",
+                location=f"tag {tag}",
+            )
+        )
+
+    # R203 — lossless dead ends (only meaningful when hosts exist:
+    # without hosts the delivery points are unknowable from the rules).
+    dead_ends = 0
+    if topo.hosts:
+        for switch, in_port, tag in sorted(reachable):
+            if any(
+                topo.node(peer).is_host
+                for peer in topo.ports(switch).values()
+            ):
+                continue  # local delivery is possible
+            table = tables.get(switch)
+            has_lossless_exit = table is not None and any(
+                rule_tag == tag
+                and rule_in == in_port
+                and new_tag != LOSSY_TAG
+                for (rule_tag, rule_in, _), new_tag in table.rules.items()
+            )
+            if not has_lossless_exit:
+                dead_ends += 1
+                diagnostics.append(
+                    make_diagnostic(
+                        "R203",
+                        f"packets arriving on port {in_port} with tag "
+                        f"{tag} have no lossless continuation and no "
+                        "local host; they can only proceed via lossy "
+                        "demotion",
+                        switch=switch,
+                        location=f"({tag},{in_port})",
+                    )
+                )
+
+    stats = {
+        "reachable_states": len(reachable),
+        "live_tags": len(live_tags),
+        "dead_rules": dead_rules,
+        "lossy_dead_ends": dead_ends,
+    }
+    return diagnostics, stats, live_tags

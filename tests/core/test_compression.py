@@ -10,9 +10,13 @@ from repro.core import (
     compress_joint,
     compression_stats,
     expand,
+    first_match,
     materialize_policy_rules,
+    safeguard_entry,
+    tcam_program,
 )
 from repro.core.compression import TcamEntry
+from repro.core.tags import LOSSY_TAG
 from repro.exceptions import RuleError
 
 
@@ -108,3 +112,72 @@ class TestTcamEntry:
         ]
         with pytest.raises(RuleError, match="ambiguous"):
             expand(entries)
+
+    def test_wildcard_matches_any_tag(self):
+        guard = safeguard_entry({1, 2})
+        assert guard.is_wildcard
+        assert guard.matches(1, 1, 2)
+        assert guard.matches(17, 2, 1)
+        assert not guard.matches(1, 3, 1)  # port outside the bitmap
+
+
+class TestOrderedPrograms:
+    def make_table(self):
+        return RuleTable(
+            switch="A",
+            rules={(1, 1, 2): 1, (1, 3, 2): 1, (2, 1, 2): 2},
+        )
+
+    def test_program_ends_with_safeguard(self):
+        program = tcam_program(self.make_table(), {1, 2, 3})
+        assert program[-1].is_wildcard
+        assert program[-1].new_tag == LOSSY_TAG
+        assert program[-1].in_ports == frozenset({1, 2, 3})
+        assert all(not e.is_wildcard for e in program[:-1])
+
+    def test_first_match_agrees_with_exact_lookup(self):
+        table = self.make_table()
+        program = tcam_program(table, {1, 2, 3})
+        for key, new_tag in table.rules.items():
+            assert first_match(program, *key) == new_tag
+        # Unmatched keys hit the safeguard and demote.
+        assert first_match(program, 5, 1, 2) == LOSSY_TAG
+        assert first_match(program, 1, 2, 3) == LOSSY_TAG
+
+    def test_first_match_respects_entry_order(self):
+        overlapping = [
+            TcamEntry(1, frozenset({1, 2}), frozenset({3}), 1),
+            TcamEntry(1, frozenset({2, 4}), frozenset({3}), 2),
+        ]
+        # (1, 2, 3) matches both; the first entry must win.
+        assert first_match(overlapping, 1, 2, 3) == 1
+        assert first_match(overlapping[::-1], 1, 2, 3) == 2
+        # Keys covered by only one entry are order-independent.
+        assert first_match(overlapping, 1, 4, 3) == 2
+
+    def test_first_match_without_safeguard_returns_none(self):
+        program = [TcamEntry(1, frozenset({1}), frozenset({2}), 1)]
+        assert first_match(program, 2, 1, 2) is None
+
+    def test_expand_skips_safeguard_demote(self):
+        table = self.make_table()
+        program = tcam_program(table, {1, 2, 3})
+        rules = expand(program)
+        assert rules == table.as_rules()
+
+    def test_expand_rejects_wildcard_promote(self):
+        promoting = TcamEntry(None, frozenset({1}), frozenset({2}), 1)
+        with pytest.raises(RuleError, match="wildcard"):
+            expand([promoting])
+
+    def test_program_round_trip_on_real_tables(self, testbed):
+        tagger = ClosTagger(testbed, max_bounces=1)
+        for switch in testbed.switches:
+            table = materialize_policy_rules(
+                testbed, switch, tagger.rewrite, tags=[1, 2]
+            )
+            ports = set(testbed.ports(switch))
+            program = tcam_program(table, ports)
+            assert expand(program) == table.as_rules()
+            for key, new_tag in table.rules.items():
+                assert first_match(program, *key) == new_tag

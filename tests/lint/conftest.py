@@ -1,0 +1,34 @@
+"""Hand-built fixtures for the deployment linter tests."""
+
+import pytest
+
+from repro.topology import Topology
+
+
+@pytest.fixture
+def chain():
+    """H1 - A - B - H2: the smallest fabric with a lossless transit hop."""
+    topo = Topology(name="chain")
+    topo.add_switch("A", layer=0)
+    topo.add_switch("B", layer=0)
+    topo.add_host("H1")
+    topo.add_host("H2")
+    topo.add_link("H1", "A")
+    topo.add_link("A", "B")
+    topo.add_link("B", "H2")
+    return topo
+
+
+@pytest.fixture
+def long_chain():
+    """H1 - A - B - C - H2: B has no host, so B can strand packets."""
+    topo = Topology(name="long-chain")
+    for name in ("A", "B", "C"):
+        topo.add_switch(name, layer=0)
+    topo.add_host("H1")
+    topo.add_host("H2")
+    topo.add_link("H1", "A")
+    topo.add_link("A", "B")
+    topo.add_link("B", "C")
+    topo.add_link("C", "H2")
+    return topo

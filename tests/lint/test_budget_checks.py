@@ -1,0 +1,36 @@
+"""B-family: TCAM budgets and queue-fit consistency."""
+
+from repro.core.compression import safeguard_entry
+from repro.core.pipeline import QueueMap
+from repro.lint.budget_checks import check_budget, check_queue_fit
+
+
+class TestB301TcamBudget:
+    def test_over_budget_flagged(self):
+        program = [safeguard_entry({1, 2})] * 5
+        diagnostics = check_budget({"A": program}, tcam_budget=4)
+        assert [d.code for d in diagnostics] == ["B301"]
+        assert diagnostics[0].switch == "A"
+
+    def test_at_budget_passes(self):
+        program = [safeguard_entry({1, 2})] * 4
+        assert check_budget({"A": program}, tcam_budget=4) == []
+
+    def test_no_budget_disables_check(self):
+        program = [safeguard_entry({1, 2})] * 100
+        assert check_budget({"A": program}, tcam_budget=None) == []
+
+
+class TestB302QueueFit:
+    def test_live_tag_in_lossy_queue_flagged(self):
+        queue_map = QueueMap.identity(2)  # tags 1-2 lossless
+        diagnostics = check_queue_fit({1, 2, 3}, queue_map)
+        assert [d.code for d in diagnostics] == ["B302"]
+        assert "tag 3" in diagnostics[0].location
+
+    def test_fitting_tags_pass(self):
+        queue_map = QueueMap.identity(3)
+        assert check_queue_fit({1, 2, 3}, queue_map) == []
+
+    def test_no_queue_map_disables_check(self):
+        assert check_queue_fit({1, 2, 3}, None) == []

@@ -1,0 +1,80 @@
+"""The diagnostic model: catalog, rendering, report bookkeeping."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.lint import CATALOG, LintReport, Severity, make_diagnostic
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+
+
+class TestCatalog:
+    def test_families_and_format(self):
+        for code, info in CATALOG.items():
+            assert re.fullmatch(r"[TSRB]\d{3}", code)
+            assert info.code == code
+            assert info.title and info.summary
+
+    def test_docs_catalog_never_drifts(self):
+        """Every code is documented, and nothing undocumented exists."""
+        documented = set(re.findall(r"^### (\w\d{3})", DOCS.read_text(), re.M))
+        assert documented == set(CATALOG)
+
+
+class TestDiagnostic:
+    def test_severity_defaults_from_catalog(self):
+        diag = make_diagnostic("T001", "boom")
+        assert diag.severity is Severity.ERROR
+        assert diag.title == "cycle-in-tag-subgraph"
+
+    def test_severity_override(self):
+        diag = make_diagnostic("S101", "dup", severity=Severity.WARNING)
+        assert diag.severity is Severity.WARNING
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("X999", "no such family")
+
+    def test_render_includes_anchor(self):
+        diag = make_diagnostic("T002", "boom", switch="L1", location="(2,0,1)")
+        assert diag.render() == (
+            "error: T002 tag-decreasing-rule [L1 @ (2,0,1)]: boom"
+        )
+
+
+class TestLintReport:
+    def test_ok_ignores_warnings(self):
+        report = LintReport()
+        report.extend([make_diagnostic("S102", "overlap")])
+        assert report.ok
+        assert report.warnings and not report.errors
+
+    def test_errors_flip_ok(self):
+        report = LintReport()
+        report.extend([make_diagnostic("T001", "cycle")])
+        assert not report.ok
+
+    def test_summary_counts_by_code(self):
+        report = LintReport()
+        report.extend(
+            [
+                make_diagnostic("T001", "a"),
+                make_diagnostic("T001", "b"),
+                make_diagnostic("R202", "c"),
+            ]
+        )
+        assert report.by_code() == {"R202": 1, "T001": 2}
+        assert report.codes() == ("R202", "T001")
+        assert "T001x2" in report.summary()
+
+    def test_to_dict_is_json_serializable(self):
+        report = LintReport(stats={"rules": 3})
+        report.extend([make_diagnostic("B302", "tag 9", location="tag 9")])
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["ok"] is False
+        assert blob["counts"]["error"] == 1
+        assert blob["stats"]["rules"] == 3
+        assert blob["diagnostics"][0]["code"] == "B302"

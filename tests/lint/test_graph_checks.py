@@ -1,0 +1,123 @@
+"""T-family: R1/R2 certification re-derived from rule tables alone."""
+
+from repro.core.rules import RuleTable
+from repro.lint import lint_tables
+from repro.lint.graph_checks import check_graph
+
+
+def _codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def chain_tables(topo):
+    """Clean forwarding H1 -> H2 across the A - B link."""
+    a_in, a_out = topo.port_to("A", "H1"), topo.port_to("A", "B")
+    b_in, b_out = topo.port_to("B", "A"), topo.port_to("B", "H2")
+    return {
+        "A": RuleTable(switch="A", rules={(1, a_in, a_out): 1}),
+        "B": RuleTable(switch="B", rules={(1, b_in, b_out): 1}),
+    }
+
+
+class TestCleanTables:
+    def test_chain_has_no_t_findings(self, chain):
+        diagnostics, stats = check_graph(chain, chain_tables(chain))
+        assert diagnostics == []
+        assert stats["graph_tags"] == 1
+        assert stats["graph_nodes"] >= 2
+
+    def test_lint_tables_is_fully_clean(self, chain):
+        report = lint_tables(chain, chain_tables(chain))
+        assert report.ok
+        assert report.diagnostics == []
+
+
+class TestT001CycleInTagSubgraph:
+    def test_ring_rules_form_a_cbd(self, triangle):
+        ring = ("A", "B", "C")
+        tables = {}
+        for i, switch in enumerate(ring):
+            prev = ring[(i - 1) % 3]
+            nxt = ring[(i + 1) % 3]
+            in_port = triangle.port_to(switch, prev)
+            out_port = triangle.port_to(switch, nxt)
+            tables[switch] = RuleTable(
+                switch=switch, rules={(1, in_port, out_port): 1}
+            )
+        diagnostics, _ = check_graph(triangle, tables)
+        assert "T001" in _codes(diagnostics)
+        t001 = next(d for d in diagnostics if d.code == "T001")
+        assert t001.severity.value == "error"
+        assert "cycle" in t001.message
+
+    def test_one_bad_rule_does_not_mask_a_cycle(self, triangle):
+        """A T003 rule is excluded from reconstruction; the T001 cycle
+        formed by the remaining rules must still be found."""
+        ring = ("A", "B", "C")
+        tables = {}
+        for i, switch in enumerate(ring):
+            prev = ring[(i - 1) % 3]
+            nxt = ring[(i + 1) % 3]
+            in_port = triangle.port_to(switch, prev)
+            out_port = triangle.port_to(switch, nxt)
+            tables[switch] = RuleTable(
+                switch=switch, rules={(1, in_port, out_port): 1}
+            )
+        # Invalid tag on A (matches the lossy sentinel).
+        tables["A"].rules[(0, 0, 0)] = 1
+        diagnostics, _ = check_graph(triangle, tables)
+        codes = _codes(diagnostics)
+        assert "T003" in codes
+        assert "T001" in codes
+
+
+class TestT002TagDecreasingRule:
+    def test_decreasing_rewrite_flagged(self, chain):
+        tables = chain_tables(chain)
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables["A"].rules[(2, a_in, a_out)] = 1
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T002" in _codes(diagnostics)
+
+    def test_demotion_to_lossy_is_not_a_violation(self, chain):
+        tables = chain_tables(chain)
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables["A"].rules[(2, a_in, a_out)] = 0  # explicit demote
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T002" not in _codes(diagnostics)
+
+
+class TestT003InvalidTag:
+    def test_lossy_match_tag_rejected(self, chain):
+        tables = chain_tables(chain)
+        tables["A"].rules[(0, 0, 1)] = 1
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T003" in _codes(diagnostics)
+
+    def test_negative_rewrite_rejected(self, chain):
+        tables = chain_tables(chain)
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables["A"].rules[(1, a_in, a_out)] = -1
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T003" in _codes(diagnostics)
+
+
+class TestT004UnknownPort:
+    def test_unknown_port_number(self, chain):
+        tables = chain_tables(chain)
+        tables["A"].rules[(1, 99, 0)] = 1
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T004" in _codes(diagnostics)
+
+    def test_unknown_switch(self, chain):
+        tables = chain_tables(chain)
+        tables["Z"] = RuleTable(switch="Z", rules={(1, 0, 1): 1})
+        diagnostics, _ = check_graph(chain, tables)
+        t004 = [d for d in diagnostics if d.code == "T004"]
+        assert t004 and t004[0].switch == "Z"
+
+    def test_rules_on_a_host_rejected(self, chain):
+        tables = chain_tables(chain)
+        tables["H1"] = RuleTable(switch="H1", rules={(1, 0, 0): 1})
+        diagnostics, _ = check_graph(chain, tables)
+        assert "T004" in _codes(diagnostics)

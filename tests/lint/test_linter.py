@@ -1,0 +1,67 @@
+"""End-to-end linter runs: clean plans certify, corrupted ones do not."""
+
+import pytest
+
+from repro.core import TaggerPlan, jellyfish_elp
+from repro.exceptions import LintError
+from repro.lint import DeploymentArtifact, LintConfig, lint_artifact, lint_plan
+from repro.topology import jellyfish
+
+
+class TestCleanPlans:
+    def test_testbed_clos_plan_certifies(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        report = lint_plan(plan)
+        assert report.ok, report.render_text()
+        assert report.diagnostics == []
+        assert report.stats["graph_tags"] == 2
+        assert report.stats["dead_rules"] == 0
+
+    def test_jellyfish_plan_certifies(self):
+        topo = jellyfish(num_switches=10, ports_per_switch=4, seed=3)
+        plan = TaggerPlan.from_elp(topo, jellyfish_elp(topo))
+        report = lint_plan(plan)
+        assert report.ok, report.render_text()
+
+    def test_report_stats_cover_every_family(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        stats = lint_plan(plan).stats
+        for key in (
+            "rules",
+            "graph_nodes",
+            "tcam_entries",
+            "reachable_states",
+            "live_tags",
+        ):
+            assert key in stats
+
+
+class TestArtifactContract:
+    def test_policy_backed_tables_rejected(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1, materialize=False)
+        with pytest.raises(LintError, match="policy-backed"):
+            DeploymentArtifact.from_plan(plan)
+
+    def test_lint_ignores_planner_graph(self, testbed):
+        """The artifact carries no TaggedGraph: certification is
+        re-derived from the tables alone."""
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        artifact = DeploymentArtifact.from_plan(plan)
+        assert not hasattr(artifact, "graph")
+        assert lint_artifact(artifact).ok
+
+
+class TestLintConfig:
+    def test_tcam_budget_enforced(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        report = lint_plan(plan, tcam_budget=1)
+        assert not report.ok
+        assert "B301" in report.codes()
+
+    def test_families_can_be_disabled(self, testbed):
+        plan = TaggerPlan.for_clos(testbed, max_bounces=1)
+        config = LintConfig(check_tcam=False, check_reach=False)
+        report = lint_plan(plan, config=config)
+        assert "tcam_entries" not in report.stats
+        assert "reachable_states" not in report.stats
+        assert "graph_nodes" in report.stats

@@ -1,0 +1,97 @@
+"""R-family: reachable-state exploration from host injection points."""
+
+from repro.core.pipeline import QueueMap
+from repro.core.rules import RuleTable
+from repro.lint.reach_checks import (
+    check_reachability,
+    explore,
+    injection_states,
+)
+from repro.topology import Topology
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestInjectionStates:
+    def test_host_facing_ports_only(self, chain):
+        states = injection_states(chain)
+        assert states == {
+            ("A", chain.port_to("A", "H1"), 1),
+            ("B", chain.port_to("B", "H2"), 1),
+        }
+
+    def test_host_free_fabric_injects_everywhere(self):
+        topo = Topology(name="s2s")
+        topo.add_switch("A", layer=0)
+        topo.add_switch("B", layer=0)
+        topo.add_link("A", "B")
+        states = injection_states(topo)
+        assert ("A", topo.port_to("A", "B"), 1) in states
+        assert ("B", topo.port_to("B", "A"), 1) in states
+
+
+class TestExplore:
+    def test_rules_propagate_states(self, chain):
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables = {"A": RuleTable(switch="A", rules={(1, a_in, a_out): 1})}
+        reachable, fired, live = explore(chain, tables)
+        assert ("B", chain.port_to("B", "A"), 1) in reachable
+        assert ("A", 1, a_in, a_out) in fired
+        assert live == {1}
+
+    def test_demotion_ends_exploration(self, chain):
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables = {"A": RuleTable(switch="A", rules={(1, a_in, a_out): 0})}
+        reachable, _, live = explore(chain, tables)
+        assert ("B", chain.port_to("B", "A"), 1) not in reachable
+        assert live == {1}
+
+
+class TestR201DeadRule:
+    def test_unreachable_match_state_flagged(self, chain):
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables = {
+            "A": RuleTable(
+                switch="A",
+                rules={
+                    (1, a_in, a_out): 1,
+                    (3, a_in, a_out): 3,  # nothing ever carries tag 3
+                },
+            )
+        }
+        diagnostics, stats, _ = check_reachability(chain, tables)
+        assert "R201" in codes(diagnostics)
+        assert stats["dead_rules"] == 1
+
+
+class TestR202UnreachableTag:
+    def test_queue_map_only_tag_flagged(self, chain):
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables = {"A": RuleTable(switch="A", rules={(1, a_in, a_out): 1})}
+        queue_map = QueueMap.identity(3)  # maps tags 1..3; only 1 is live
+        diagnostics, _, live = check_reachability(chain, tables, queue_map)
+        r202 = [d for d in diagnostics if d.code == "R202"]
+        assert {d.location for d in r202} == {"tag 2", "tag 3"}
+        assert live == {1}
+
+
+class TestR203LossyDeadEnd:
+    def test_hostless_transit_without_continuation(self, long_chain):
+        a_in = long_chain.port_to("A", "H1")
+        a_out = long_chain.port_to("A", "B")
+        tables = {
+            "A": RuleTable(switch="A", rules={(1, a_in, a_out): 1})
+            # B has no rules and no host: packets strand there.
+        }
+        diagnostics, stats, _ = check_reachability(long_chain, tables)
+        r203 = [d for d in diagnostics if d.code == "R203"]
+        assert r203 and r203[0].switch == "B"
+        assert stats["lossy_dead_ends"] == 1
+
+    def test_host_neighbor_counts_as_delivery(self, chain):
+        a_in, a_out = chain.port_to("A", "H1"), chain.port_to("A", "B")
+        tables = {"A": RuleTable(switch="A", rules={(1, a_in, a_out): 1})}
+        diagnostics, _, _ = check_reachability(chain, tables)
+        assert "R203" not in codes(diagnostics)

@@ -50,6 +50,63 @@ class TestPlan:
         assert "UNSAFE" in captured.err
 
 
+class TestLint:
+    def export_plan(self, tmp_path):
+        out_file = tmp_path / "plan.json"
+        assert main(["plan", "--bounces", "1", "--out", str(out_file)]) == 0
+        return out_file
+
+    def sabotage(self, plan_file):
+        """Make one tag-2 rule decrease back to tag 1 (T002)."""
+        blob = json.loads(plan_file.read_text())
+        for rules in blob["rules"].values():
+            for rule in rules:
+                if rule[0] == 2 and rule[3] == 2:
+                    rule[3] = 1
+        plan_file.write_text(json.dumps(blob))
+
+    def test_clean_plan_lints_clean(self, tmp_path, capsys):
+        plan_file = self.export_plan(tmp_path)
+        capsys.readouterr()
+        assert main(["lint", str(plan_file)]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN: 0 error(s)" in out
+
+    def test_corrupted_plan_exits_1(self, tmp_path, capsys):
+        plan_file = self.export_plan(tmp_path)
+        self.sabotage(plan_file)
+        capsys.readouterr()
+        assert main(["lint", str(plan_file)]) == 1
+        out = capsys.readouterr().out
+        assert "T002" in out
+        assert "DIRTY" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        plan_file = self.export_plan(tmp_path)
+        report_file = tmp_path / "lint-report.json"
+        assert main(
+            ["lint", str(plan_file), "--json", str(report_file)]
+        ) == 0
+        blob = json.loads(report_file.read_text())
+        assert blob["ok"] is True
+        assert blob["counts"]["error"] == 0
+        assert blob["stats"]["switches"] > 0
+
+    def test_tcam_budget_flag(self, tmp_path, capsys):
+        plan_file = self.export_plan(tmp_path)
+        capsys.readouterr()
+        assert main(["lint", str(plan_file), "--tcam-budget", "1"]) == 1
+        assert "B301" in capsys.readouterr().out
+
+    def test_verify_lint_flag(self, tmp_path, capsys):
+        plan_file = self.export_plan(tmp_path)
+        capsys.readouterr()
+        assert main(["verify", str(plan_file), "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCK-FREE" in out
+        assert "lint: CLEAN" in out
+
+
 class TestDemo:
     def test_fig10_both_modes(self, capsys):
         code_plain = main(["demo", "fig10", "--duration", "0.2"])
