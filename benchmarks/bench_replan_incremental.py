@@ -1,0 +1,140 @@
+"""Pipeline perf — incremental replan vs from-scratch at 64-ToR scale.
+
+The paper's operational premise (§3.2, §6) is that topology churn is
+frequent: hundreds of reroute-visible events per day across production
+data centers. Tagger only stays practical if reacting to a single link
+flap does not cost a full pipeline recompute. This benchmark pins that
+claim on a 64-ToR three-layer Clos (8 pods x 8 ToRs, 100 switches,
+~230k ELP paths):
+
+1. from-scratch pipeline build (ELP enumeration -> Algorithm 1 ->
+   deterministic minimization -> verify -> queue map),
+2. incremental replan of a single leaf-spine link-down via
+   :class:`repro.core.replan.IncrementalPlanner`,
+3. memoized replay of the restoring link-up.
+
+Each phase's stage timings are recorded through the ``baseline_entry``
+fixture into the committed ``BENCH_pipeline.json``. The acceptance bar —
+incremental single-link-down at least 5x faster than recomputing the
+same failed state from scratch, with byte-identical rule tables — is
+asserted, not just reported.
+"""
+
+import time
+
+from conftest import format_table
+from repro.core import (
+    IncrementalPlanner,
+    TaggerPlan,
+    UpDownElpProvider,
+    tables_equal,
+)
+from repro.perf import StageTimer
+from repro.topology import ClosParams, TopologyDelta, clos3
+
+#: 8 pods x 8 ToRs = 64 ToRs; 100 switches, 4032 switch pairs.
+CLOS64 = ClosParams(
+    num_pods=8,
+    tors_per_pod=8,
+    leaves_per_pod=4,
+    num_spines=4,
+    hosts_per_tor=1,
+)
+
+#: The flapped leaf-spine link. Its failure dirties every cross-pod pair
+#: with an endpoint in pod 1 — 896 of 4032 pairs — which is the *hard*
+#: locality case; a ToR uplink flap dirties far fewer.
+FLAP = ("L1", "S1")
+
+SPEEDUP_FLOOR = 5.0
+
+
+def run_churn_cycle():
+    topo = clos3(CLOS64)
+
+    planner = IncrementalPlanner(topo, UpDownElpProvider())
+    down = planner.apply(TopologyDelta.link_down(*FLAP))
+
+    # From-scratch oracle at the same failed state, on its own topology
+    # instance so the warm planner's caches cannot leak into it.
+    failed_topo = clos3(CLOS64)
+    failed_topo.fail_link(*FLAP)
+    scratch_timer = StageTimer()
+    t0 = time.perf_counter()
+    scratch = TaggerPlan.from_provider(
+        failed_topo, UpDownElpProvider(), timer=scratch_timer
+    )
+    scratch_seconds = time.perf_counter() - t0
+
+    identical = (
+        tables_equal(planner.plan.tables, scratch.tables)
+        and planner.plan.graph == scratch.graph
+    )
+    up = planner.apply(TopologyDelta.link_up(*FLAP))
+    return planner, down, up, scratch_timer, scratch_seconds, identical
+
+
+def test_replan_single_link_down_clos64(benchmark, report, baseline_entry):
+    planner, down, up, scratch_timer, scratch_seconds, identical = (
+        benchmark.pedantic(run_churn_cycle, rounds=1, iterations=1)
+    )
+
+    speedup_down = scratch_seconds / down.total_seconds
+    speedup_up = scratch_seconds / up.total_seconds
+
+    baseline_entry(
+        "pipeline-scratch-clos64",
+        planner.initial_timings,
+        switches=len(planner.topo.switches),
+        elp_paths=len(planner.elp_paths()),
+        state="pristine",
+    )
+    baseline_entry(
+        "pipeline-scratch-clos64-failed",
+        scratch_timer.timings(),
+        state=f"link-down {FLAP[0]}<->{FLAP[1]}",
+    )
+    baseline_entry(
+        "replan-link-down-clos64",
+        down.timings,
+        mode=down.mode,
+        dirty_pairs=down.dirty_pairs,
+        changed_paths=down.changed_paths,
+        rule_touches=down.total_rule_touches,
+        resume_level=down.resume_level,
+        speedup_vs_scratch=round(speedup_down, 2),
+    )
+    baseline_entry(
+        "replan-link-up-memo-clos64",
+        up.timings,
+        mode=up.mode,
+        speedup_vs_scratch=round(speedup_up, 2),
+    )
+
+    rows = [
+        ("from-scratch (failed state)", f"{scratch_seconds * 1000.0:.0f}",
+         "1.0x", "-"),
+        (f"incremental link-down ({down.mode})",
+         f"{down.total_seconds * 1000.0:.0f}",
+         f"{speedup_down:.1f}x", down.dirty_pairs),
+        (f"restore link-up ({up.mode})",
+         f"{up.total_seconds * 1000.0:.0f}",
+         f"{speedup_up:.1f}x", up.dirty_pairs),
+    ]
+    table = format_table(
+        ["Phase", "Wall ms", "Speedup", "Dirty pairs"], rows
+    )
+    table += (
+        f"\n\nbyte-identical to from-scratch: {identical}"
+        f"\nflap: {FLAP[0]}<->{FLAP[1]} on 64-ToR Clos "
+        f"({len(planner.topo.switches)} switches, "
+        f"{len(planner.elp_paths())} ELP paths)"
+    )
+    report("replan_incremental", table)
+
+    assert identical, "incremental replan diverged from from-scratch"
+    assert down.mode == "incremental" and up.mode == "memo"
+    assert speedup_down >= SPEEDUP_FLOOR, (
+        f"incremental link-down only {speedup_down:.1f}x faster than "
+        f"from-scratch; acceptance floor is {SPEEDUP_FLOOR}x"
+    )

@@ -14,11 +14,26 @@ from pathlib import Path
 
 import pytest
 
+from repro.perf import (
+    BaselineEntry,
+    compare_stages,
+    load_baselines,
+    record_baseline,
+)
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The committed perf baseline registry at the repository root.
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
 
 #: Set REPRO_FULL=1 to run the full-scale (slow) variants, e.g. the
 #: 2000-switch Jellyfish row of Table 5.
 FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Set REPRO_RECORD=1 to refresh the committed BENCH_pipeline.json with
+#: this run's timings (the perf analogue of --update-golden). Without it
+#: timing benchmarks only *compare* against the committed baseline.
+RECORD = os.environ.get("REPRO_RECORD", "") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -35,6 +50,39 @@ def report(results_dir):
         print(f"\n===== {name} =====")
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+@pytest.fixture
+def baseline_entry():
+    """Returns a writer: baseline_entry(name, stages, **meta).
+
+    Emits one benchmark's stage-level wall-clock timings as JSON feeding
+    the repo-root ``BENCH_pipeline.json``. With REPRO_RECORD=1 the
+    committed entry is refreshed in place (merge semantics, other entries
+    untouched); otherwise the fresh run is compared against the committed
+    entry and per-stage regressions beyond 2x are printed — advisory, not
+    failing, because shared-CI wall clocks are noisy.
+    """
+
+    def write(name: str, stages, **meta) -> BaselineEntry:
+        entry = BaselineEntry(name=name, stages=dict(stages), meta=dict(meta))
+        line = "  ".join(
+            f"{stage}={secs * 1000.0:.1f}ms"
+            for stage, secs in entry.stages.items()
+        )
+        print(f"\n[baseline] {name}: {line} "
+              f"(total {entry.total_seconds * 1000.0:.1f}ms)")
+        if RECORD:
+            record_baseline(BASELINE_PATH, entry)
+            print(f"[baseline] {name}: recorded to {BASELINE_PATH.name}")
+        else:
+            committed = load_baselines(BASELINE_PATH).get(name)
+            if committed is not None:
+                for complaint in compare_stages(committed, entry, tolerance=2.0):
+                    print(f"[baseline] REGRESSION {complaint}")
+        return entry
 
     return write
 

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
     from repro.lint import LintReport
+    from repro.topology import TopologyDelta
 
 from repro.core import (
     TaggerPlan,
@@ -208,6 +209,111 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_delta(spec: str) -> "TopologyDelta":
+    """Parse a ``kind:arg[:arg]`` delta spec from the command line.
+
+    Examples: ``down:T1:L1``, ``up:T1:L1``, ``drain:L2``,
+    ``undrain:L2``, ``add-paths:T1,L1,T2``, ``remove-paths:T1,L1,T2``.
+    """
+    from repro.topology import TopologyDelta
+
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind in ("down", "up") and len(parts) == 3:
+        ctor = TopologyDelta.link_down if kind == "down" else TopologyDelta.link_up
+        return ctor(parts[1], parts[2])
+    if kind in ("drain", "undrain") and len(parts) == 2:
+        if kind == "drain":
+            return TopologyDelta.drain(parts[1])
+        return TopologyDelta.undrain(parts[1])
+    if kind in ("add-paths", "remove-paths") and len(parts) == 2:
+        path = tuple(parts[1].split(","))
+        if kind == "add-paths":
+            return TopologyDelta.add_paths([path])
+        return TopologyDelta.remove_paths([path])
+    raise ReproError(
+        f"bad delta spec {spec!r}; expected down:A:B, up:A:B, drain:S, "
+        f"undrain:S, add-paths:N1,N2,..., or remove-paths:N1,N2,..."
+    )
+
+
+def _format_timings(timings: Dict[str, float]) -> str:
+    return "  ".join(
+        f"{name}={seconds * 1000.0:.1f}ms" for name, seconds in timings.items()
+    )
+
+
+def cmd_replan(args: argparse.Namespace) -> int:
+    """Incremental re-planning: apply topology deltas to a warm plan.
+
+    Builds the initial plan with the pairwise ELP provider matching the
+    topology family, then feeds each ``--delta`` through the incremental
+    engine, printing the replan mode, per-stage timings and the minimal
+    per-switch rule diff. ``--compare-scratch`` re-plans from scratch at
+    the end and fails unless the tables are byte-identical.
+    """
+    import time
+
+    from repro.core import (
+        IncrementalPlanner,
+        ShortestPathElpProvider,
+        UpDownElpProvider,
+        tables_equal,
+    )
+
+    topo = build_topology(args)
+    provider = (
+        UpDownElpProvider()
+        if args.topology == "clos"
+        else ShortestPathElpProvider()
+    )
+    deltas = [_parse_delta(spec) for spec in (args.delta or [])]
+    planner = IncrementalPlanner(topo, provider, minimize=args.minimize)
+    print(f"fabric: {topo}")
+    print(f"initial build: {planner.plan.summary()}")
+    print(f"  {_format_timings(planner.initial_timings)}")
+    incremental_seconds = 0.0
+    for delta in deltas:
+        result = planner.apply(delta)
+        incremental_seconds += result.total_seconds
+        print(result.summary())
+        print(f"  {_format_timings(result.timings)}")
+        for switch in sorted(result.diffs):
+            diff = result.diffs[switch]
+            print(
+                f"  {switch}: +{len(diff.added)} -{len(diff.removed)} "
+                f"~{len(diff.changed)}"
+            )
+    print(f"final plan: {planner.plan.summary()}")
+    if args.compare_scratch:
+        start = time.perf_counter()
+        scratch = planner.scratch_plan()
+        scratch_seconds = time.perf_counter() - start
+        identical = (
+            tables_equal(planner.plan.tables, scratch.tables)
+            and planner.plan.graph == scratch.graph
+        )
+        print(
+            f"scratch recompute: {scratch_seconds * 1000.0:.1f}ms "
+            f"(incremental replans: {incremental_seconds * 1000.0:.1f}ms)"
+        )
+        if not identical:
+            print(
+                "ERROR: incremental plan diverges from from-scratch plan",
+                file=sys.stderr,
+            )
+            return 1
+        print("incremental plan is byte-identical to from-scratch plan")
+    if args.out:
+        blob = plan_to_dict(args, planner.plan)
+        blob["deltas"] = [delta.describe() for delta in deltas]
+        blob["failed_links"] = sorted(topo.failed_links)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
+        print(f"exported rules for {len(blob['rules'])} switches to {args.out}")
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro.routing import install_loop, shortest_path_tables
     from repro.simulator import Flow, SimNetwork, find_deadlock_cycle, pin_path
@@ -359,6 +465,44 @@ def make_parser() -> argparse.ArgumentParser:
         help="exit non-zero on warnings as well as errors",
     )
     lint.set_defaults(func=cmd_lint)
+
+    replan = sub.add_parser(
+        "replan",
+        help="incrementally re-plan across topology deltas",
+    )
+    replan.add_argument(
+        "--topology", choices=("clos", "jellyfish"), default="clos"
+    )
+    replan.add_argument("--pods", type=int, default=2)
+    replan.add_argument("--tors", type=int, default=2)
+    replan.add_argument("--leaves", type=int, default=2)
+    replan.add_argument("--spines", type=int, default=2)
+    replan.add_argument("--hosts", type=int, default=4)
+    replan.add_argument("--switches", type=int, default=50)
+    replan.add_argument("--ports", type=int, default=12)
+    replan.add_argument("--seed", type=int, default=1)
+    replan.add_argument(
+        "--minimize",
+        choices=("deterministic", "paper", "off"),
+        default="deterministic",
+    )
+    replan.add_argument(
+        "--delta",
+        action="append",
+        metavar="SPEC",
+        help="delta to apply, in order (down:A:B, up:A:B, drain:S, "
+        "undrain:S, add-paths:N1,N2,..., remove-paths:N1,N2,...); "
+        "repeatable",
+    )
+    replan.add_argument(
+        "--compare-scratch",
+        action="store_true",
+        dest="compare_scratch",
+        help="re-plan from scratch at the end and require byte-identical "
+        "rule tables",
+    )
+    replan.add_argument("--out", type=str, default=None)
+    replan.set_defaults(func=cmd_replan)
 
     demo = sub.add_parser("demo", help="run a deadlock scenario")
     demo.add_argument("scenario", choices=("fig10", "fig11"))

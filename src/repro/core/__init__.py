@@ -27,13 +27,20 @@ from repro.core.compression import (
 )
 from repro.core.elp import (
     ElpSet,
+    PairwiseElpProvider,
+    ShortestPathElpProvider,
+    UpDownElpProvider,
     bcube_elp,
     clos_bounce_elp,
     clos_updown_elp,
     jellyfish_elp,
     shortest_path_elp,
 )
-from repro.core.determinize import DeterministicTagging, deterministic_minimize
+from repro.core.determinize import (
+    DeterministicMinimizer,
+    DeterministicTagging,
+    deterministic_minimize,
+)
 from repro.core.discovery import (
     elp_under_failures,
     single_link_failure_scenarios,
@@ -50,16 +57,19 @@ from repro.core.queuefit import (
     remap_tables,
 )
 from repro.core.planner import TaggerPlan
+from repro.core.replan import IncrementalPlanner, ReplanResult
 from repro.core.rules import (
     MatchActionRule,
     RuleDiff,
     RuleGenerationReport,
     RuleTable,
+    canonical_tables,
     coverage_report,
     diff_tables,
     materialize_policy_rules,
     rules_from_tagged_graph,
     rules_to_tagged_graph,
+    tables_equal,
 )
 from repro.core.ttl_fallback import TtlFallback
 from repro.core.tags import (
@@ -92,6 +102,9 @@ __all__ = [
     "safeguard_entry",
     "tcam_program",
     "ElpSet",
+    "PairwiseElpProvider",
+    "ShortestPathElpProvider",
+    "UpDownElpProvider",
     "bcube_elp",
     "clos_bounce_elp",
     "clos_updown_elp",
@@ -101,7 +114,10 @@ __all__ = [
     "FlywaysTagger",
     "TtlFallback",
     "deterministic_minimize",
+    "DeterministicMinimizer",
     "DeterministicTagging",
+    "IncrementalPlanner",
+    "ReplanResult",
     "trace_elp",
     "elp_under_failures",
     "single_link_failure_scenarios",
@@ -119,8 +135,10 @@ __all__ = [
     "MatchActionRule",
     "RuleGenerationReport",
     "RuleTable",
+    "canonical_tables",
     "coverage_report",
     "diff_tables",
+    "tables_equal",
     "RuleDiff",
     "materialize_policy_rules",
     "rules_from_tagged_graph",

@@ -61,21 +61,114 @@ class DeterministicTagging:
         return sum(len(table) for table in self.tables.values())
 
 
-def deterministic_minimize(
-    topo: Topology, bruteforce: TaggedGraph
-) -> DeterministicTagging:
-    """Minimize tags while keeping the rewrite a function of its match key."""
-    if bruteforce.num_nodes == 0:
-        raise TaggingError("cannot minimize an empty tagged graph")
+@dataclass
+class _Checkpoint:
+    """Minimizer state captured *before* processing one brute-force level."""
 
-    largest = bruteforce.max_tag
-    node_class: Dict[TNode, int] = {}
-    transitions: Dict[TransKey, int] = {}
-    sandboxes: Dict[int, _Sandbox] = {}
-    current = INITIAL_TAG
-    contradictions = 0
+    node_class: Dict[TNode, int]
+    transitions: Dict[TransKey, int]
+    sandboxes: Dict[int, _Sandbox]
+    current: int
+    contradictions: int
 
-    for old_tag in range(INITIAL_TAG, largest + 1):
+    @staticmethod
+    def capture(minimizer: "DeterministicMinimizer") -> "_Checkpoint":
+        return _Checkpoint(
+            node_class=dict(minimizer._node_class),
+            transitions=dict(minimizer._transitions),
+            sandboxes={
+                cls: sandbox.copy()
+                for cls, sandbox in minimizer._sandboxes.items()
+            },
+            current=minimizer._current,
+            contradictions=minimizer._contradictions,
+        )
+
+    def restore(self, minimizer: "DeterministicMinimizer") -> None:
+        minimizer._node_class = dict(self.node_class)
+        minimizer._transitions = dict(self.transitions)
+        minimizer._sandboxes = {
+            cls: sandbox.copy() for cls, sandbox in self.sandboxes.items()
+        }
+        minimizer._current = self.current
+        minimizer._contradictions = self.contradictions
+
+
+class DeterministicMinimizer:
+    """Resumable deterministic minimization with per-level checkpoints.
+
+    The merge processes brute-force tag levels in ascending order, and a
+    level's outcome depends only on levels below it. The minimizer
+    therefore snapshots its state before each level; when the caller
+    knows the brute-force graph changed only at levels ``>= dirty``
+    (see :mod:`repro.core.replan`), :meth:`run` can restore the
+    ``dirty`` checkpoint and reprocess just the suffix — the *scoped
+    re-merge* — producing output bit-identical to a full run on the new
+    graph. ``run(graph)`` with no ``from_level`` is exactly the original
+    :func:`deterministic_minimize`.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._node_class: Dict[TNode, int] = {}
+        self._transitions: Dict[TransKey, int] = {}
+        self._sandboxes: Dict[int, _Sandbox] = {}
+        self._current = INITIAL_TAG
+        self._contradictions = 0
+        #: _checkpoints[i] = state before processing level INITIAL_TAG + i.
+        self._checkpoints: List[_Checkpoint] = []
+
+    @property
+    def resumable_from(self) -> int:
+        """Highest level a subsequent run() may resume from."""
+        return INITIAL_TAG + len(self._checkpoints) - 1
+
+    def run(
+        self, bruteforce: TaggedGraph, from_level: Optional[int] = None
+    ) -> DeterministicTagging:
+        """Minimize ``bruteforce``, optionally resuming at ``from_level``.
+
+        A resume is only sound when ``bruteforce`` is identical to the
+        previously minimized graph at every level below ``from_level``
+        (same nodes, same edges into those levels) — the caller
+        guarantees this. ``from_level`` beyond :attr:`resumable_from`
+        raises; pass ``None`` (or :data:`INITIAL_TAG`) for a full run.
+        """
+        if bruteforce.num_nodes == 0:
+            raise TaggingError("cannot minimize an empty tagged graph")
+        largest = bruteforce.max_tag
+        if from_level is None:
+            from_level = INITIAL_TAG
+        if from_level > INITIAL_TAG:
+            if from_level > self.resumable_from:
+                raise TaggingError(
+                    f"cannot resume at level {from_level}; checkpoints stop "
+                    f"at {self.resumable_from}"
+                )
+            self._checkpoints[from_level - INITIAL_TAG].restore(self)
+            del self._checkpoints[from_level - INITIAL_TAG :]
+        else:
+            from_level = INITIAL_TAG
+            self._node_class = {}
+            self._transitions = {}
+            self._sandboxes = {}
+            self._current = INITIAL_TAG
+            self._contradictions = 0
+            self._checkpoints = []
+
+        for old_tag in range(from_level, largest + 1):
+            self._checkpoints.append(_Checkpoint.capture(self))
+            self._run_level(bruteforce, old_tag)
+        # Terminal checkpoint: lets a later delta that only *adds* a new
+        # deeper level resume from the finished state.
+        self._checkpoints.append(_Checkpoint.capture(self))
+        return self._finalize()
+
+    def _run_level(self, bruteforce: TaggedGraph, old_tag: int) -> None:
+        node_class = self._node_class
+        transitions = self._transitions
+        sandboxes = self._sandboxes
+        current = self._current
         bumped = False
         for node in sorted(bruteforce.nodes_with_tag(old_tag)):
             port = node[0]
@@ -112,7 +205,7 @@ def deterministic_minimize(
                 break
 
             if assigned is None:
-                contradictions += 1
+                self._contradictions += 1
                 assigned = _fallback_class(
                     sandboxes, transitions, pred_ports, port, current
                 )
@@ -121,35 +214,43 @@ def deterministic_minimize(
             # and whose class does not exceed the assignment (others keep
             # their earlier definitions or stay undefined -> lossy).
             sandbox = sandboxes.setdefault(assigned, _Sandbox())
-            intra: List[PortKey] = []
+            intra_new: List[PortKey] = []
             for _, pred_port, pred_cls in pred_ports:
                 key = (pred_port, pred_cls, port)
                 if key not in transitions and pred_cls <= assigned:
                     transitions[key] = assigned
                 if transitions.get(key) == assigned and pred_cls == assigned:
-                    intra.append(pred_port)
-            sandbox.add(port, intra)
+                    intra_new.append(pred_port)
+            sandbox.add(port, intra_new)
             node_class[node] = assigned
             if assigned > current:
                 bumped = True
         if bumped:
-            current += 1
+            self._current = current + 1
 
-    tables = _tables_from_transitions(topo, transitions)
-    graph = rules_to_tagged_graph(topo, tables)
-    # Entry nodes (first hops) carry class 1 by construction; make sure
-    # they exist in the graph even if they have no outgoing rule (single
-    # switch paths).
-    for node, cls in node_class.items():
-        graph.add_node((node[0], cls))
-    num_tags = max(node_class.values()) if node_class else 0
-    return DeterministicTagging(
-        tables=tables,
-        graph=graph,
-        node_class=node_class,
-        num_tags=num_tags,
-        contradictions=contradictions,
-    )
+    def _finalize(self) -> DeterministicTagging:
+        tables = _tables_from_transitions(self.topo, self._transitions)
+        graph = rules_to_tagged_graph(self.topo, tables)
+        # Entry nodes (first hops) carry class 1 by construction; make
+        # sure they exist in the graph even if they have no outgoing rule
+        # (single switch paths).
+        for node, cls in self._node_class.items():
+            graph.add_node((node[0], cls))
+        num_tags = max(self._node_class.values()) if self._node_class else 0
+        return DeterministicTagging(
+            tables=tables,
+            graph=graph,
+            node_class=dict(self._node_class),
+            num_tags=num_tags,
+            contradictions=self._contradictions,
+        )
+
+
+def deterministic_minimize(
+    topo: Topology, bruteforce: TaggedGraph
+) -> DeterministicTagging:
+    """Minimize tags while keeping the rewrite a function of its match key."""
+    return DeterministicMinimizer(topo).run(bruteforce)
 
 
 def _fallback_class(

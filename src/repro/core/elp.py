@@ -16,13 +16,18 @@ trust the paths it holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exceptions import TaggingError
+from repro.exceptions import RoutingError, TaggingError
 from repro.routing.base import Path, is_loop_free, validate_path
 from repro.routing.bounce import all_bounce_paths
-from repro.routing.shortest import pairwise_shortest_paths, random_loopfree_paths
-from repro.routing.updown import all_updown_paths
+from repro.routing.shortest import (
+    all_shortest_paths,
+    bfs_distances,
+    pairwise_shortest_paths,
+    random_loopfree_paths,
+)
+from repro.routing.updown import all_updown_paths, updown_paths
 from repro.topology.base import Topology
 from repro.topology.bcube import bcube_default_route, bcube_servers
 
@@ -130,6 +135,127 @@ def jellyfish_elp(
         )
     elp.dedupe()
     return elp
+
+
+# ----------------------------------------------------------------------
+# Pairwise ELP providers (incremental re-planning substrate)
+# ----------------------------------------------------------------------
+class PairwiseElpProvider:
+    """An ELP expressed as an independent function of each endpoint pair.
+
+    The incremental re-planner (:mod:`repro.core.replan`) exploits two
+    contract guarantees that both concrete providers below honor:
+
+    1. **Pair independence** — :meth:`pair_paths` for ``(src, dst)``
+       depends only on the active topology, never on other pairs, so a
+       dirty pair can be recomputed in isolation and the result is
+       bit-identical to what a from-scratch :meth:`build` would hold.
+    2. **Locality under churn** — failing a link can change a pair's
+       path set only if (a) one of the pair's current paths traverses
+       that link, or (b) the pair is already *damaged* (its current set
+       differs from the no-failure baseline). Restoring a link can only
+       change damaged pairs. This is what makes dirty-set propagation
+       sound; it holds for shortest-path selection because removing
+       links never shortens distances (see docs/PERFORMANCE.md for the
+       argument, including the capped-ECMP and up-down cases).
+    """
+
+    description: str = "pairwise ELP"
+
+    def endpoints(self, topo: Topology) -> List[str]:
+        raise NotImplementedError
+
+    def pair_paths(self, topo: Topology, src: str, dst: str) -> Tuple[Path, ...]:
+        raise NotImplementedError
+
+    def ordered_pairs(self, topo: Topology) -> List[Tuple[str, str]]:
+        names = self.endpoints(topo)
+        return [(s, d) for s in names for d in names if s != d]
+
+    def build(self, topo: Topology) -> ElpSet:
+        """From-scratch ELP: concatenation over all ordered pairs."""
+        elp = ElpSet(topo, description=self.description)
+        for src, dst in self.ordered_pairs(topo):
+            elp.extend(self.pair_paths(topo, src, dst))
+        return elp
+
+
+@dataclass
+class UpDownElpProvider(PairwiseElpProvider):
+    """Per-pair view of :func:`clos_updown_elp` (paper baseline ELP).
+
+    ``build`` produces exactly the path set of
+    ``clos_updown_elp(topo, endpoints)``: unreachable pairs are skipped
+    silently, and per-pair results are the sorted deduplicated shortest
+    up-down paths. Endpoints must be layered switches; the locality
+    contract is proven for lowest-layer (ToR) endpoints, which is the
+    only configuration the paper uses.
+    """
+
+    explicit_endpoints: Optional[Sequence[str]] = None
+    shortest_only: bool = True
+    description: str = "shortest up-down paths"
+
+    def endpoints(self, topo: Topology) -> List[str]:
+        if self.explicit_endpoints is not None:
+            return list(self.explicit_endpoints)
+        return sorted(topo.switches_at_layer(0))
+
+    def pair_paths(self, topo: Topology, src: str, dst: str) -> Tuple[Path, ...]:
+        try:
+            return tuple(
+                updown_paths(topo, src, dst, shortest_only=self.shortest_only)
+            )
+        except RoutingError:
+            return ()
+
+
+@dataclass
+class ShortestPathElpProvider(PairwiseElpProvider):
+    """Per-pair view of :func:`shortest_path_elp` (Jellyfish default).
+
+    Reproduces :func:`repro.routing.shortest.pairwise_shortest_paths`
+    pair by pair: with ``per_pair == 1`` the deterministic greedy
+    downhill walk, otherwise the first ``per_pair`` ECMP alternatives in
+    DFS order.
+    """
+
+    explicit_endpoints: Optional[Sequence[str]] = None
+    per_pair: int = 1
+    description: str = "pairwise shortest paths"
+
+    def endpoints(self, topo: Topology) -> List[str]:
+        if self.explicit_endpoints is not None:
+            return list(self.explicit_endpoints)
+        return sorted(topo.switches)
+
+    def ordered_pairs(self, topo: Topology) -> List[Tuple[str, str]]:
+        # pairwise_shortest_paths iterates destinations in the outer
+        # loop; mirror it so build() preserves the exact path order.
+        names = self.endpoints(topo)
+        return [(s, d) for d in names for s in names if s != d]
+
+    def pair_paths(self, topo: Topology, src: str, dst: str) -> Tuple[Path, ...]:
+        dist = bfs_distances(topo, dst)
+        if src not in dist:
+            return ()
+        if self.per_pair == 1:
+            node = src
+            path = [src]
+            while node != dst:
+                node = min(
+                    peer
+                    for peer in topo.neighbors(node)
+                    if dist.get(peer, float("inf")) == dist[node] - 1
+                )
+                path.append(node)
+            return (tuple(path),)
+        try:
+            return tuple(
+                all_shortest_paths(topo, src, dst, limit=self.per_pair)
+            )
+        except RoutingError:
+            return ()
 
 
 def bcube_elp(topo: Topology, n: int, k: int) -> ElpSet:

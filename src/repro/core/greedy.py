@@ -38,6 +38,12 @@ class _Sandbox:
         self.out: Dict[PortKey, Set[PortKey]] = {}
         self.ports: Set[PortKey] = set(ports)
 
+    def copy(self) -> "_Sandbox":
+        """Independent snapshot (for checkpoint/resume minimization)."""
+        clone = _Sandbox(self.ports)
+        clone.out = {port: set(succs) for port, succs in self.out.items()}
+        return clone
+
     def would_cycle(self, port: PortKey, preds: Sequence[PortKey]) -> bool:
         """True iff adding edges ``pred -> port`` creates a directed cycle.
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.core.bruteforce import bruteforce_tagging
 from repro.core.clos import ClosTagger
 from repro.core.determinize import deterministic_minimize
+from repro.core.elp import PairwiseElpProvider
 from repro.core.greedy import greedy_minimize
 from repro.core.multiclass import MultiClassClosTagger, TrafficClass
 from repro.core.pipeline import PipelineConfig, QueueMap
@@ -38,6 +39,7 @@ from repro.core.rules import (
 from repro.core.tags import INITIAL_TAG, TaggedGraph
 from repro.core.verification import VerificationReport, assert_deadlock_free, verify_tagged_graph
 from repro.exceptions import TaggingError
+from repro.perf.timing import StageTimer
 from repro.topology.base import Topology
 
 
@@ -62,6 +64,7 @@ class TaggerPlan:
         minimize: str = "deterministic",
         max_lossless_queues: int = 8,
         on_conflict: str = "max",
+        timer: Optional[StageTimer] = None,
     ) -> "TaggerPlan":
         """Generic construction: Algorithm 1, then tag minimization.
 
@@ -71,6 +74,10 @@ class TaggerPlan:
                 ``"paper"`` runs Algorithm 2 exactly as printed (rule
                 conflicts, if any, resolved toward the larger tag);
                 ``"off"`` deploys the brute-force tags directly.
+            timer: Optional :class:`~repro.perf.timing.StageTimer`; when
+                given, records wall-clock per pipeline stage
+                (``bruteforce``, ``minimize``, ``verify``, ``queue-map``)
+                for the perf baselines in ``BENCH_pipeline.json``.
 
         Raises :class:`~repro.exceptions.CapacityError` if the resulting
         tag count exceeds ``max_lossless_queues`` — the paper's practical
@@ -78,28 +85,36 @@ class TaggerPlan:
         """
         if minimize not in ("deterministic", "paper", "off"):
             raise TaggingError(f"unknown minimize mode {minimize!r}")
-        graph = bruteforce_tagging(topo, elp)
+        if timer is None:
+            timer = StageTimer()
+        with timer.stage("bruteforce"):
+            graph = bruteforce_tagging(topo, elp)
         rule_report: Optional[RuleGenerationReport] = None
         if minimize == "deterministic":
-            result = deterministic_minimize(topo, graph)
+            with timer.stage("minimize"):
+                result = deterministic_minimize(topo, graph)
             tables = result.tables
             graph = result.graph
-            assert_deadlock_free(graph)
+            with timer.stage("verify"):
+                assert_deadlock_free(graph)
         else:
-            if minimize == "paper":
-                graph = greedy_minimize(graph)
-            assert_deadlock_free(graph)
-            rule_report = rules_from_tagged_graph(
-                topo, graph, on_conflict=on_conflict
-            )
-            tables = rule_report.tables
-            if rule_report.conflicts:
-                # Conflict resolution changed semantics; re-verify what
-                # the rules actually deploy.
-                effective = rules_to_tagged_graph(topo, tables)
-                assert_deadlock_free(effective)
-                graph = effective
-        queue_map = QueueMap.identity(graph.max_tag, max_lossless_queues)
+            with timer.stage("minimize"):
+                if minimize == "paper":
+                    graph = greedy_minimize(graph)
+            with timer.stage("verify"):
+                assert_deadlock_free(graph)
+                rule_report = rules_from_tagged_graph(
+                    topo, graph, on_conflict=on_conflict
+                )
+                tables = rule_report.tables
+                if rule_report.conflicts:
+                    # Conflict resolution changed semantics; re-verify
+                    # what the rules actually deploy.
+                    effective = rules_to_tagged_graph(topo, tables)
+                    assert_deadlock_free(effective)
+                    graph = effective
+        with timer.stage("queue-map"):
+            queue_map = QueueMap.identity(graph.max_tag, max_lossless_queues)
         return TaggerPlan(
             topo=topo,
             graph=graph,
@@ -107,6 +122,38 @@ class TaggerPlan:
             queue_map=queue_map,
             description=f"algorithm-1+{minimize} ({graph.num_tags} tags)",
             rule_report=rule_report,
+        )
+
+    @staticmethod
+    def from_provider(
+        topo: Topology,
+        provider: PairwiseElpProvider,
+        minimize: str = "deterministic",
+        max_lossless_queues: int = 8,
+        on_conflict: str = "max",
+        extra_paths: Sequence[Sequence[str]] = (),
+        timer: Optional[StageTimer] = None,
+    ) -> "TaggerPlan":
+        """From-scratch plan via a pairwise ELP provider (+ pinned extras).
+
+        This is the from-scratch counterpart of
+        :class:`repro.core.replan.IncrementalPlanner` — identical input
+        surface, so the two can be compared byte for byte. The ``elp``
+        stage (path enumeration) is timed separately from the
+        :meth:`from_elp` stages.
+        """
+        if timer is None:
+            timer = StageTimer()
+        with timer.stage("elp"):
+            elp = provider.build(topo)
+            elp.extend(extra_paths)
+        return TaggerPlan.from_elp(
+            topo,
+            elp,
+            minimize=minimize,
+            max_lossless_queues=max_lossless_queues,
+            on_conflict=on_conflict,
+            timer=timer,
         )
 
     @staticmethod

@@ -1,0 +1,696 @@
+"""Incremental re-planning engine (paper §6, "Topology changes").
+
+A Tagger deployment must track topology churn: the paper measures
+hundreds of reroute events per day (§3.2), and recomputing the full
+pipeline — ELP enumeration, Algorithm 1, deterministic minimization,
+rule compilation — from scratch on every link flap is wasteful when a
+single link touches a tiny fraction of the ELP.
+
+:class:`IncrementalPlanner` keeps the whole pipeline state warm and
+recomputes only what a :class:`~repro.topology.failures.TopologyDelta`
+actually invalidates:
+
+1. **Pair-path cache.** The ELP is expressed through a
+   :class:`~repro.core.elp.PairwiseElpProvider`, whose contract makes
+   each endpoint pair's path set an independent function of the
+   topology. A link→pairs index identifies the pairs whose current
+   paths traverse a failed link; a *damaged* set (pairs whose current
+   paths differ from the no-failure baseline) bounds which pairs a
+   restore can affect. Only those pairs are re-enumerated.
+2. **Refcounted brute-force graph.** Every ELP path contributes
+   reference counts to the Algorithm-1 nodes/edges it induces; the
+   tagged graph is exactly the entries with a positive count, so path
+   adds/removes update it in O(hops) and the result is bit-identical
+   to re-running Algorithm 1 (the graph is a set, order-free).
+3. **Scoped re-merge.** Brute-force levels below the lowest changed
+   node/edge are untouched, so the resumable
+   :class:`~repro.core.determinize.DeterministicMinimizer` restores its
+   per-level checkpoint and reprocesses only the dirty suffix.
+4. **Plan memo.** Full resulting states are memoized per topology
+   fingerprint (plus the pinned extra-path signature), so fail→restore
+   flaps replay from cache.
+
+Whenever a prerequisite fails — the provider contract cannot localize a
+restore because the planner never saw the no-failure baseline, or the
+minimizer state is cold after a memo hit — the engine falls back to a
+full recompute of the affected stage rather than guessing. In **every**
+mode the resulting plan is certifiably equivalent to
+:meth:`TaggerPlan.from_elp` on the same topology and path set: identical
+rule tables, tagged graph, and queue map (property-tested in
+``tests/properties/test_incremental.py`` and fuzz-checked as the
+``incremental-divergence`` invariant).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.determinize import DeterministicMinimizer
+from repro.core.elp import PairwiseElpProvider
+from repro.core.greedy import greedy_minimize
+from repro.core.pipeline import QueueMap
+from repro.core.planner import TaggerPlan
+from repro.core.rules import (
+    RuleDiff,
+    RuleGenerationReport,
+    RuleTable,
+    diff_tables,
+    rules_from_tagged_graph,
+    rules_to_tagged_graph,
+)
+from repro.core.tags import INITIAL_TAG, TaggedGraph, TEdge, TNode, ingress_hops
+from repro.core.verification import assert_deadlock_free
+from repro.exceptions import TaggingError
+from repro.perf.timing import StageTimer
+from repro.routing.base import Path, is_loop_free, validate_path
+from repro.topology.base import Topology
+from repro.topology.failures import (
+    ADD_PATHS,
+    DRAIN,
+    LINK_DOWN,
+    LinkKey,
+    REMOVE_PATHS,
+    TopologyDelta,
+    apply_delta,
+)
+
+Pair = Tuple[str, str]
+_MemoKey = Tuple[str, Tuple[Path, ...]]
+
+#: Replan modes, most to least incremental.
+MODE_NOOP = "noop"
+MODE_MEMO = "memo"
+MODE_INCREMENTAL = "incremental"
+MODE_FULL = "full"
+
+
+class _RefcountedGraph:
+    """Algorithm-1 tagged graph maintained as per-path reference counts.
+
+    ``add_path``/``remove_path`` mirror one loop iteration of
+    :func:`repro.core.bruteforce.bruteforce_tagging` and return the
+    nodes/edges whose count crossed zero — the *structural* changes that
+    feed dirty-level computation. :meth:`graph` materializes the
+    positive-count entries; because :class:`TaggedGraph` is
+    set-structured, the result is identical to running Algorithm 1 from
+    scratch on the current path multiset, in any insertion order.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._nodes: Dict[TNode, int] = {}
+        self._edges: Dict[TEdge, int] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._nodes
+
+    def add_path(self, path: Path) -> Tuple[List[TNode], List[TEdge]]:
+        created_nodes: List[TNode] = []
+        created_edges: List[TEdge] = []
+        tag = INITIAL_TAG
+        last: Optional[TNode] = None
+        for port in ingress_hops(self.topo, path):
+            node = (port, tag)
+            count = self._nodes.get(node, 0)
+            if count == 0:
+                created_nodes.append(node)
+            self._nodes[node] = count + 1
+            if last is not None:
+                edge = (last, node)
+                ecount = self._edges.get(edge, 0)
+                if ecount == 0:
+                    created_edges.append(edge)
+                self._edges[edge] = ecount + 1
+            last = node
+            tag += 1
+        return created_nodes, created_edges
+
+    def remove_path(self, path: Path) -> Tuple[List[TNode], List[TEdge]]:
+        removed_nodes: List[TNode] = []
+        removed_edges: List[TEdge] = []
+        tag = INITIAL_TAG
+        last: Optional[TNode] = None
+        for port in ingress_hops(self.topo, path):
+            node = (port, tag)
+            count = self._nodes.get(node, 0)
+            if count <= 0:
+                raise TaggingError(
+                    f"refcount underflow at {node}; path was never added"
+                )
+            if count == 1:
+                del self._nodes[node]
+                removed_nodes.append(node)
+            else:
+                self._nodes[node] = count - 1
+            if last is not None:
+                edge = (last, node)
+                ecount = self._edges.get(edge, 0)
+                if ecount <= 0:
+                    raise TaggingError(f"refcount underflow at edge {edge}")
+                if ecount == 1:
+                    del self._edges[edge]
+                    removed_edges.append(edge)
+                else:
+                    self._edges[edge] = ecount - 1
+            last = node
+            tag += 1
+        return removed_nodes, removed_edges
+
+    def graph(self) -> TaggedGraph:
+        graph = TaggedGraph()
+        for node in self._nodes:
+            graph.add_node(node)
+        for src, dst in self._edges:
+            graph.add_edge(src, dst)
+        return graph
+
+    def counts_snapshot(self) -> Tuple[Dict[TNode, int], Dict[TEdge, int]]:
+        return dict(self._nodes), dict(self._edges)
+
+    def restore_counts(
+        self, nodes: Dict[TNode, int], edges: Dict[TEdge, int]
+    ) -> None:
+        self._nodes = dict(nodes)
+        self._edges = dict(edges)
+
+
+@dataclass
+class _MemoEntry:
+    """Full post-plan state for one (fingerprint, extras) key."""
+
+    pairs: Dict[Pair, Tuple[Path, ...]]
+    pair_links: Dict[Pair, FrozenSet[LinkKey]]
+    link_index: Dict[LinkKey, Set[Pair]]
+    damaged: Set[Pair]
+    node_counts: Dict[TNode, int]
+    edge_counts: Dict[TEdge, int]
+    extras: List[Path]
+    plan: TaggerPlan
+
+
+@dataclass
+class ReplanResult:
+    """Outcome of one :meth:`IncrementalPlanner.apply` call."""
+
+    delta: TopologyDelta
+    mode: str
+    plan: TaggerPlan
+    diffs: Dict[str, RuleDiff]
+    timings: Dict[str, float]
+    dirty_pairs: int
+    changed_paths: int
+    resume_level: Optional[int]
+    fingerprint: str
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    @property
+    def total_rule_touches(self) -> int:
+        return sum(diff.touch_count for diff in self.diffs.values())
+
+    def summary(self) -> str:
+        return (
+            f"{self.delta.describe()}: {self.mode}, "
+            f"{self.dirty_pairs} dirty pair(s), "
+            f"{self.changed_paths} path change(s), "
+            f"{len(self.diffs)} switch(es) touched "
+            f"({self.total_rule_touches} rule ops) "
+            f"in {self.total_seconds * 1000.0:.1f}ms"
+        )
+
+
+def _path_links(path: Path) -> FrozenSet[LinkKey]:
+    """Canonical link keys a path traverses (host hops included)."""
+    keys = []
+    for i in range(len(path) - 1):
+        a, b = path[i], path[i + 1]
+        keys.append((a, b) if a <= b else (b, a))
+    return frozenset(keys)
+
+
+class IncrementalPlanner:
+    """Warm-state Tagger planner that absorbs topology deltas.
+
+    The planner takes ownership of ``topo``: deltas passed to
+    :meth:`apply` mutate it in place (via
+    :func:`~repro.topology.failures.apply_delta`) and the current
+    :attr:`plan` always refers to it. All three ``minimize`` modes of
+    :meth:`TaggerPlan.from_elp` are supported; only ``"deterministic"``
+    benefits from the scoped re-merge (the paper's greedy pass is not
+    checkpointable), but the ELP cache and refcounted brute-force graph
+    accelerate every mode.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        provider: PairwiseElpProvider,
+        minimize: str = "deterministic",
+        max_lossless_queues: int = 8,
+        on_conflict: str = "max",
+        memo_capacity: int = 8,
+        extra_paths: Tuple[Path, ...] = (),
+    ) -> None:
+        if minimize not in ("deterministic", "paper", "off"):
+            raise TaggingError(f"unknown minimize mode {minimize!r}")
+        self.topo = topo
+        self.provider = provider
+        self.minimize = minimize
+        self.max_lossless_queues = max_lossless_queues
+        self.on_conflict = on_conflict
+        self.memo_capacity = memo_capacity
+
+        self._pairs: Dict[Pair, Tuple[Path, ...]] = {}
+        self._pair_links: Dict[Pair, FrozenSet[LinkKey]] = {}
+        self._link_index: Dict[LinkKey, Set[Pair]] = {}
+        #: Pairs whose current path set differs from the no-failure
+        #: baseline; only meaningful while ``_base`` is known.
+        self._damaged: Set[Pair] = set()
+        #: Pair paths of the pristine (no failed links) topology. None
+        #: until the planner has observed that state.
+        self._base: Optional[Dict[Pair, Tuple[Path, ...]]] = None
+
+        self._extras: List[Path] = []
+        self._brute = _RefcountedGraph(topo)
+        self._minimizer = DeterministicMinimizer(topo)
+        self._minimizer_valid = False
+        self._plan: Optional[TaggerPlan] = None
+        #: True when the deployed tables no longer match the brute-force
+        #: state (a previous apply raised mid-pipeline).
+        self._plan_dirty = True
+        self._memo: "OrderedDict[_MemoKey, _MemoEntry]" = OrderedDict()
+        #: Structural refcount changes accumulated by _recompute_pair,
+        #: drained by the caller into dirty-level computation.
+        self._pending_nodes: List[TNode] = []
+        self._pending_edges: List[TEdge] = []
+        self._last_resume_level: Optional[int] = None
+
+        timer = StageTimer()
+        for raw in extra_paths:
+            self._extras.append(self._validate_extra(raw))
+        self._full_build(timer)
+        #: Stage timings of the initial from-scratch build.
+        self.initial_timings: Dict[str, float] = timer.timings()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> TaggerPlan:
+        """The current (last successfully compiled) plan."""
+        if self._plan is None:
+            raise TaggingError("planner holds no valid plan")
+        return self._plan
+
+    def elp_paths(self) -> List[Path]:
+        """The full current ELP, in from-scratch provider order."""
+        paths: List[Path] = []
+        for pair in self.provider.ordered_pairs(self.topo):
+            paths.extend(self._pairs.get(pair, ()))
+        paths.extend(self._extras)
+        return paths
+
+    def scratch_plan(self) -> TaggerPlan:
+        """From-scratch plan for the current state (differential oracle)."""
+        return TaggerPlan.from_elp(
+            self.topo,
+            self.elp_paths(),
+            minimize=self.minimize,
+            max_lossless_queues=self.max_lossless_queues,
+            on_conflict=self.on_conflict,
+        )
+
+    def apply(
+        self, delta: TopologyDelta, force_full: bool = False
+    ) -> ReplanResult:
+        """Absorb one delta and return the re-planned state + rule diff.
+
+        Raises :class:`~repro.exceptions.TaggingError` when the delta
+        leaves an empty ELP (nothing to keep lossless) — the topology
+        change itself stays applied, so a subsequent restoring delta
+        recovers — and :class:`~repro.exceptions.CapacityError` when the
+        new tag count exceeds the queue budget.
+        """
+        timer = StageTimer()
+        prev_tables = self._plan.tables if self._plan is not None else {}
+        self._pending_nodes = []
+        self._pending_edges = []
+
+        # Path deltas validate fully before any state is touched, so a
+        # rejected delta leaves the planner exactly as it was.
+        canonical_paths: List[Path] = []
+        if delta.kind == ADD_PATHS:
+            canonical_paths = [self._validate_extra(p) for p in delta.paths]
+        elif delta.kind == REMOVE_PATHS:
+            canonical_paths = [tuple(p) for p in delta.paths]
+            missing = Counter(canonical_paths) - Counter(self._extras)
+            if missing:
+                raise TaggingError(
+                    f"cannot remove ELP path(s) never added: "
+                    f"{sorted(missing)[0]}"
+                )
+
+        with timer.stage("apply-delta"):
+            touched = apply_delta(self.topo, delta)
+
+        is_path_delta = delta.kind in (ADD_PATHS, REMOVE_PATHS)
+        memo_key = self._memo_key()
+        if not force_full and not is_path_delta:
+            entry = self._memo.get(memo_key)
+            if entry is not None:
+                with timer.stage("restore"):
+                    self._restore_memo(entry)
+                with timer.stage("diff"):
+                    diffs = diff_tables(prev_tables, self.plan.tables)
+                self._memo.move_to_end(memo_key)
+                return ReplanResult(
+                    delta=delta,
+                    mode=MODE_MEMO,
+                    plan=self.plan,
+                    diffs=diffs,
+                    timings=timer.timings(),
+                    dirty_pairs=0,
+                    changed_paths=0,
+                    resume_level=None,
+                    fingerprint=memo_key[0],
+                )
+
+        mode = MODE_INCREMENTAL
+        dirty: Set[Pair] = set()
+        changed_paths = 0
+
+        with timer.stage("elp"):
+            if is_path_delta:
+                dirty = set()
+            elif force_full:
+                mode = MODE_FULL
+                dirty = set(self.provider.ordered_pairs(self.topo))
+            elif delta.kind in (LINK_DOWN, DRAIN):
+                # Locality: a pair's path set can change only if one of
+                # its current paths traverses a link that went down.
+                for link in touched:
+                    dirty |= self._link_index.get(link, set())
+            else:  # link-up / undrain
+                if self._base is None:
+                    # Never saw the pristine baseline: cannot bound the
+                    # restore's blast radius. Recompute everything.
+                    mode = MODE_FULL
+                    dirty = set(self.provider.ordered_pairs(self.topo))
+                else:
+                    dirty = set(self._damaged)
+            for pair in sorted(dirty):
+                pair_change = self._recompute_pair(pair)
+                if pair_change is not None:
+                    changed_paths += len(pair_change[0]) + len(pair_change[1])
+
+        with timer.stage("bruteforce"):
+            if delta.kind == ADD_PATHS:
+                for path in canonical_paths:
+                    self._extras.append(path)
+                    nodes, edges = self._brute.add_path(path)
+                    self._pending_nodes.extend(nodes)
+                    self._pending_edges.extend(edges)
+                changed_paths += len(canonical_paths)
+            elif delta.kind == REMOVE_PATHS:
+                for path in canonical_paths:
+                    self._extras.remove(path)
+                    nodes, edges = self._brute.remove_path(path)
+                    self._pending_nodes.extend(nodes)
+                    self._pending_edges.extend(edges)
+                changed_paths += len(canonical_paths)
+            changed_nodes = self._pending_nodes
+            changed_edges = self._pending_edges
+            self._pending_nodes = []
+            self._pending_edges = []
+
+        if self._base is None and not self.topo.failed_links:
+            # First time the planner sees the pristine fabric: snapshot
+            # the baseline that bounds future restore blast radii.
+            self._base = dict(self._pairs)
+            self._damaged = set()
+
+        if (
+            not changed_nodes
+            and not changed_edges
+            and not self._plan_dirty
+            and self._plan is not None
+        ):
+            self._store_memo()
+            return ReplanResult(
+                delta=delta,
+                mode=MODE_NOOP if mode != MODE_FULL else MODE_FULL,
+                plan=self.plan,
+                diffs={},
+                timings=timer.timings(),
+                dirty_pairs=len(dirty),
+                changed_paths=changed_paths,
+                resume_level=None,
+                fingerprint=memo_key[0],
+            )
+
+        dirty_level = self._dirty_level(changed_nodes, changed_edges)
+        plan = self._compile(timer, dirty_level)
+        with timer.stage("diff"):
+            diffs = diff_tables(prev_tables, plan.tables)
+        self._store_memo()
+        return ReplanResult(
+            delta=delta,
+            mode=mode,
+            plan=plan,
+            diffs=diffs,
+            timings=timer.timings(),
+            dirty_pairs=len(dirty),
+            changed_paths=changed_paths,
+            resume_level=self._last_resume_level,
+            fingerprint=memo_key[0],
+        )
+
+    # ------------------------------------------------------------------
+    # ELP cache maintenance
+    # ------------------------------------------------------------------
+    def _validate_extra(self, path: Tuple[str, ...]) -> Path:
+        canonical = validate_path(self.topo, path, allow_failed=True)
+        if not is_loop_free(canonical):
+            raise TaggingError(f"ELP paths must be loop-free: {canonical}")
+        return canonical
+
+    def _recompute_pair(
+        self, pair: Pair
+    ) -> Optional[Tuple[Tuple[Path, ...], Tuple[Path, ...]]]:
+        """Re-enumerate one pair; returns (removed, added) paths or None.
+
+        ``removed``/``added`` are the multiset difference between the old
+        and new path sets — unchanged paths never touch the refcounted
+        graph. Structural refcount changes accumulate in
+        ``_pending_nodes`` / ``_pending_edges`` so the caller can account
+        them to the brute-force stage.
+        """
+        src, dst = pair
+        old = self._pairs.get(pair, ())
+        new = self.provider.pair_paths(self.topo, src, dst)
+        if new == old:
+            if self._base is not None:
+                # Membership may still flip on a restore that undoes the
+                # damage bookkeeping without changing this pair.
+                if new != self._base.get(pair, ()):
+                    self._damaged.add(pair)
+                else:
+                    self._damaged.discard(pair)
+            return None
+        # Refcounts are additive, so only the multiset difference needs
+        # to touch the brute-force graph: a link flap typically preserves
+        # most of a pair's ECMP fan-out, and churning the survivors would
+        # cost far more than the enumeration itself.
+        old_counter = Counter(old)
+        new_counter = Counter(new)
+        removed = tuple((old_counter - new_counter).elements())
+        added = tuple((new_counter - old_counter).elements())
+        for path in removed:
+            nodes, edges = self._brute.remove_path(path)
+            self._pending_nodes.extend(nodes)
+            self._pending_edges.extend(edges)
+        for path in added:
+            nodes, edges = self._brute.add_path(path)
+            self._pending_nodes.extend(nodes)
+            self._pending_edges.extend(edges)
+        self._set_pair(pair, new)
+        if self._base is not None:
+            if new != self._base.get(pair, ()):
+                self._damaged.add(pair)
+            else:
+                self._damaged.discard(pair)
+        return removed, added
+
+    def _set_pair(self, pair: Pair, paths: Tuple[Path, ...]) -> None:
+        old_links = self._pair_links.get(pair, frozenset())
+        new_links: FrozenSet[LinkKey] = frozenset()
+        if paths:
+            new_links = frozenset().union(*(_path_links(p) for p in paths))
+        for link in old_links - new_links:
+            bucket = self._link_index.get(link)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._link_index[link]
+        for link in new_links - old_links:
+            self._link_index.setdefault(link, set()).add(pair)
+        if paths:
+            self._pairs[pair] = paths
+            self._pair_links[pair] = new_links
+        else:
+            self._pairs.pop(pair, None)
+            self._pair_links.pop(pair, None)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _full_build(self, timer: StageTimer) -> None:
+        """From-scratch build of every pipeline stage (init path)."""
+        self._pending_nodes = []
+        self._pending_edges = []
+        with timer.stage("elp"):
+            for pair in self.provider.ordered_pairs(self.topo):
+                self._recompute_pair(pair)
+        with timer.stage("bruteforce"):
+            for path in self._extras:
+                self._brute.add_path(path)
+            self._pending_nodes = []
+            self._pending_edges = []
+        if self._base is None and not self.topo.failed_links:
+            self._base = dict(self._pairs)
+            self._damaged = set()
+        self._minimizer_valid = False
+        self._compile(timer, dirty_level=None)
+        self._store_memo()
+
+    def _compile(
+        self, timer: StageTimer, dirty_level: Optional[int]
+    ) -> TaggerPlan:
+        """Minimize + verify + queue-fit the current brute-force state.
+
+        Any failure leaves ``_plan_dirty`` set so the (still intact)
+        previous plan is never mistaken for the current topology's.
+        """
+        self._last_resume_level = None
+        if not self._pairs and not self._extras:
+            self._minimizer_valid = False
+            self._plan_dirty = True
+            raise TaggingError("empty ELP: nothing to tag")
+        self._plan_dirty = True
+        rule_report: Optional[RuleGenerationReport] = None
+        tables: Dict[str, RuleTable]
+        with timer.stage("minimize"):
+            graph = self._brute.graph()
+            if self.minimize == "deterministic":
+                from_level: Optional[int] = None
+                if (
+                    self._minimizer_valid
+                    and dirty_level is not None
+                    and dirty_level > INITIAL_TAG
+                ):
+                    from_level = min(
+                        dirty_level, self._minimizer.resumable_from
+                    )
+                    if from_level <= INITIAL_TAG:
+                        from_level = None
+                try:
+                    result = self._minimizer.run(graph, from_level=from_level)
+                except TaggingError:
+                    self._minimizer_valid = False
+                    raise
+                self._minimizer_valid = True
+                self._last_resume_level = from_level
+                tables = result.tables
+                final_graph = result.graph
+            else:
+                final_graph = (
+                    greedy_minimize(graph)
+                    if self.minimize == "paper"
+                    else graph
+                )
+        with timer.stage("verify"):
+            assert_deadlock_free(final_graph)
+            if self.minimize != "deterministic":
+                rule_report = rules_from_tagged_graph(
+                    self.topo, final_graph, on_conflict=self.on_conflict
+                )
+                tables = rule_report.tables
+                if rule_report.conflicts:
+                    effective = rules_to_tagged_graph(self.topo, tables)
+                    assert_deadlock_free(effective)
+                    final_graph = effective
+        with timer.stage("queue-map"):
+            queue_map = QueueMap.identity(
+                final_graph.max_tag, self.max_lossless_queues
+            )
+        plan = TaggerPlan(
+            topo=self.topo,
+            graph=final_graph,
+            tables=tables,
+            queue_map=queue_map,
+            description=(
+                f"algorithm-1+{self.minimize} ({final_graph.num_tags} tags)"
+            ),
+            rule_report=rule_report,
+        )
+        self._plan = plan
+        self._plan_dirty = False
+        return plan
+
+    @staticmethod
+    def _dirty_level(
+        changed_nodes: List[TNode], changed_edges: List[TEdge]
+    ) -> Optional[int]:
+        """Lowest brute-force level whose minimization input changed.
+
+        A node created/deleted at level ``t`` alters ``nodes_with_tag(t)``;
+        an edge change alters only the predecessor view of its *dst*
+        level. Levels strictly below the minimum are processed on
+        identical input, which is what makes checkpoint resume sound.
+        """
+        levels = [node[1] for node in changed_nodes]
+        levels.extend(edge[1][1] for edge in changed_edges)
+        return min(levels) if levels else None
+
+    # ------------------------------------------------------------------
+    # Memoization
+    # ------------------------------------------------------------------
+    def _memo_key(self) -> _MemoKey:
+        return (self.topo.fingerprint(), tuple(sorted(self._extras)))
+
+    def _store_memo(self) -> None:
+        if self._plan is None or self._plan_dirty or self.memo_capacity <= 0:
+            return
+        nodes, edges = self._brute.counts_snapshot()
+        key = self._memo_key()
+        self._memo[key] = _MemoEntry(
+            pairs=dict(self._pairs),
+            pair_links=dict(self._pair_links),
+            link_index={k: set(v) for k, v in self._link_index.items()},
+            damaged=set(self._damaged),
+            node_counts=nodes,
+            edge_counts=edges,
+            extras=list(self._extras),
+            plan=self._plan,
+        )
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_capacity:
+            self._memo.popitem(last=False)
+
+    def _restore_memo(self, entry: _MemoEntry) -> None:
+        self._pairs = dict(entry.pairs)
+        self._pair_links = dict(entry.pair_links)
+        self._link_index = {k: set(v) for k, v in entry.link_index.items()}
+        self._damaged = set(entry.damaged)
+        self._extras = list(entry.extras)
+        self._brute.restore_counts(entry.node_counts, entry.edge_counts)
+        # The minimizer's checkpoints describe a different graph history;
+        # the next non-memo delta re-establishes them with a full merge.
+        self._minimizer_valid = False
+        self._plan = entry.plan
+        self._plan_dirty = False

@@ -272,6 +272,36 @@ def diff_tables(
     return diffs
 
 
+def canonical_tables(
+    tables: Dict[str, RuleTable],
+) -> Dict[str, List[List[int]]]:
+    """JSON-stable canonical form of a rule deployment.
+
+    Per switch (sorted), a sorted list of ``[tag, in_port, out_port,
+    new_tag]`` rows. Switches with no explicit rules are omitted, so two
+    deployments that demote identically compare equal regardless of
+    whether empty tables were materialized. This is the format the
+    golden snapshot tests freeze and the byte-identity oracle compares.
+    """
+    canonical: Dict[str, List[List[int]]] = {}
+    for switch in sorted(tables):
+        rules = tables[switch].rules
+        if not rules:
+            continue
+        canonical[switch] = [
+            [tag, in_port, out_port, rules[(tag, in_port, out_port)]]
+            for tag, in_port, out_port in sorted(rules)
+        ]
+    return canonical
+
+
+def tables_equal(
+    a: Dict[str, RuleTable], b: Dict[str, RuleTable]
+) -> bool:
+    """True iff two deployments install byte-identical explicit rules."""
+    return canonical_tables(a) == canonical_tables(b)
+
+
 def coverage_report(
     topo: Topology,
     tables: Dict[str, RuleTable],

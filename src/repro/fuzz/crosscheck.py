@@ -4,28 +4,34 @@ Every scenario's ELP is pushed through four independent implementations
 of the same contract — brute force (Algorithm 1), greedy minimization
 (Algorithm 2), the rule-realizable deterministic minimizer, and (on Clos
 with bounce ELPs) the topology-aware Clos tagger — and the results are
-checked against each other and against Theorem 5.1:
+checked against each other and against Theorem 5.1. On scenarios whose
+ELP is pair-decomposable, the incremental re-planner
+(:mod:`repro.core.replan`) is additionally flapped through a link
+failure and checked byte-for-byte against the from-scratch pipeline:
 
-======================  ================================================
-invariant               meaning
-======================  ================================================
-``bruteforce-unsafe``   Algorithm 1 output fails R1/R2
-``greedy-unsafe``       Algorithm 2 output fails R1/R2
-``greedy-dominance``    greedy used MORE tags than brute force
-``greedy-coverage``     greedy lost/invented ingress ports
+==========================  ============================================
+invariant                   meaning
+==========================  ============================================
+``bruteforce-unsafe``       Algorithm 1 output fails R1/R2
+``greedy-unsafe``           Algorithm 2 output fails R1/R2
+``greedy-dominance``        greedy used MORE tags than brute force
+``greedy-coverage``         greedy lost/invented ingress ports
 ``deterministic-unsafe``    deterministic minimizer fails R1/R2
 ``deterministic-dominance`` deterministic used more tags than brute force
 ``deterministic-coverage``  rules demote an ELP path w/o contradiction
-``rules-inconsistent``  graph -> rules -> graph round trip diverged
-``rules-unsafe``        effective (deployed) rule graph fails R1/R2
-``rules-coverage``      conflict-free rules demote an ELP path
-``clos-unsafe``         Clos tagger's induced graph fails R1/R2
-``clos-tag-count``      Clos tagger used != k + 1 lossless tags
-``clos-coverage``       Clos losslessness disagrees with bounce count
-``lint-dirty``          deployment linter found error-severity findings
-                        in the compiled artifact (rules + TCAM programs
-                        + queue map; see :mod:`repro.lint`)
-======================  ================================================
+``rules-inconsistent``      graph -> rules -> graph round trip diverged
+``rules-unsafe``            effective (deployed) rule graph fails R1/R2
+``rules-coverage``          conflict-free rules demote an ELP path
+``clos-unsafe``             Clos tagger's induced graph fails R1/R2
+``clos-tag-count``          Clos tagger used != k + 1 lossless tags
+``clos-coverage``           Clos losslessness disagrees with bounce count
+``lint-dirty``              deployment linter found error-severity
+                            findings in the compiled artifact (rules +
+                            TCAM programs + queue map; :mod:`repro.lint`)
+``incremental-divergence``  after a link flap, the incremental re-plan
+                            differs from the from-scratch plan (rule
+                            tables or tagged graph)
+==========================  ============================================
 
 The checks never raise on a violation — they *record* it, so the harness
 can shrink and persist the scenario.
@@ -34,7 +40,7 @@ can shrink and persist the scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import (
     ClosTagger,
@@ -44,16 +50,29 @@ from repro.core import (
     greedy_minimize,
     rules_from_tagged_graph,
     rules_to_tagged_graph,
+    tables_equal,
     verify_tagged_graph,
 )
+from repro.core.elp import (
+    PairwiseElpProvider,
+    ShortestPathElpProvider,
+    UpDownElpProvider,
+)
 from repro.core.pipeline import QueueMap
+from repro.core.replan import IncrementalPlanner
 from repro.core.tags import INITIAL_TAG, LOSSY_TAG, TaggedGraph
 from repro.core.verification import VerificationReport
 from repro.exceptions import ReproError
-from repro.fuzz.faults import ARTIFACT_FAULTS, CLOS_FAULTS, GRAPH_FAULTS
-from repro.fuzz.scenarios import Scenario
+from repro.fuzz.faults import (
+    ARTIFACT_FAULTS,
+    CLOS_FAULTS,
+    GRAPH_FAULTS,
+    REPLAN_FAULTS,
+)
+from repro.fuzz.scenarios import Scenario, _switches_connected
 from repro.lint import DeploymentArtifact, lint_artifact
 from repro.routing.base import count_bounces
+from repro.topology.failures import TopologyDelta
 
 
 @dataclass(frozen=True)
@@ -164,6 +183,9 @@ def cross_check(
     budget = scenario.clos_bounce_budget
     if budget is not None and not scenario.failed_links:
         _check_clos(result, topo, elp, budget, fault)
+
+    # -- Incremental re-planner vs from-scratch ------------------------
+    _check_replan(result, scenario, fault)
 
     return result
 
@@ -310,3 +332,134 @@ def _check_clos(
                 )
             )
             break
+
+
+def _replan_provider(scenario: Scenario) -> Optional[PairwiseElpProvider]:
+    """Pairwise provider reproducing the scenario's ELP, if one exists.
+
+    The incremental planner consumes pair-decomposable ELPs only (its
+    locality contract, see :class:`~repro.core.elp.PairwiseElpProvider`).
+    Bounce, BCube, random-extra-path, and explicit-path scenarios are
+    outside that input space and skip the check — not a violation.
+    """
+    if scenario.explicit_paths is not None:
+        return None
+    if scenario.elp_kind == "updown":
+        return UpDownElpProvider()
+    if (
+        scenario.elp_kind == "shortest"
+        and not scenario.elp_params.get("extra_random_paths", 0)
+    ):
+        return ShortestPathElpProvider(
+            explicit_endpoints=scenario.elp_params.get("endpoints"),
+            per_pair=scenario.elp_params.get("per_pair", 1),
+        )
+    return None
+
+
+def _replan_flap_link(
+    planner: IncrementalPlanner,
+) -> Optional[Tuple[str, str]]:
+    """First ELP-carrying switch link whose failure keeps switches connected."""
+    topo = planner.topo
+    used: Set[Tuple[str, str]] = set()
+    for path in planner.elp_paths():
+        for a, b in zip(path, path[1:]):
+            if topo.node(a).is_switch and topo.node(b).is_switch:
+                used.add((a, b) if a <= b else (b, a))
+    for a, b in sorted(used):
+        topo.fail_link(a, b)
+        connected = _switches_connected(topo)
+        topo.restore_link(a, b)
+        if connected:
+            return (a, b)
+    return None
+
+
+def _check_replan(
+    result: CrossCheckResult, scenario: Scenario, fault: Optional[str]
+) -> None:
+    """Differential check of the incremental re-planner.
+
+    Builds an :class:`IncrementalPlanner` on a fresh copy of the
+    scenario, flaps one connectivity-safe ELP-carrying link (down, then
+    back up), and demands byte-identical rule tables and tagged graph
+    versus a from-scratch plan after every step. A replan-stage fault
+    replaces the healthy delta application with a buggy one; the oracle
+    must then flag the divergence.
+    """
+    provider = _replan_provider(scenario)
+    if provider is None:
+        result.stats["replan"] = "skipped: ELP not pair-decomposable"
+        return
+    topo = scenario.build_topology()
+    try:
+        planner = IncrementalPlanner(topo, provider)
+    except ReproError as exc:
+        result.violations.append(
+            Violation(
+                "incremental-divergence",
+                f"initial incremental build failed: {exc}",
+            )
+        )
+        return
+    link = _replan_flap_link(planner)
+    if link is None:
+        result.stats["replan"] = "skipped: no safe link to flap"
+        return
+    down = TopologyDelta.link_down(*link)
+    for delta in (down, down.inverse()):
+        try:
+            if fault in REPLAN_FAULTS:
+                REPLAN_FAULTS[fault](planner, delta)
+            else:
+                planner.apply(delta)
+        except ReproError as exc:
+            # Equivalence covers refusal too: if the incremental engine
+            # cannot re-plan (e.g. the flap emptied the ELP), the
+            # from-scratch pipeline must refuse the same state.
+            try:
+                planner.scratch_plan()
+            except ReproError:
+                result.stats["replan"] = (
+                    f"skipped after {delta.describe()}: {exc}"
+                )
+                return
+            result.violations.append(
+                Violation(
+                    "incremental-divergence",
+                    f"incremental apply refused {delta.describe()} "
+                    f"({exc}) but from-scratch planning succeeded",
+                )
+            )
+            return
+        try:
+            scratch = planner.scratch_plan()
+        except ReproError as exc:
+            result.violations.append(
+                Violation(
+                    "incremental-divergence",
+                    f"from-scratch planning failed after incremental "
+                    f"{delta.describe()} succeeded: {exc}",
+                )
+            )
+            return
+        if not tables_equal(planner.plan.tables, scratch.tables):
+            result.violations.append(
+                Violation(
+                    "incremental-divergence",
+                    f"after {delta.describe()}: incremental rule tables "
+                    f"differ from from-scratch tables",
+                )
+            )
+            return
+        if planner.plan.graph != scratch.graph:
+            result.violations.append(
+                Violation(
+                    "incremental-divergence",
+                    f"after {delta.describe()}: incremental tagged graph "
+                    f"differs from from-scratch graph",
+                )
+            )
+            return
+    result.stats["replan"] = f"checked (flapped {link[0]}<->{link[1]})"

@@ -19,10 +19,12 @@ from typing import Callable, Dict, List
 
 from repro.core.clos import ClosTagger
 from repro.core.compression import TcamEntry
+from repro.core.replan import IncrementalPlanner
 from repro.core.rules import RuleTable
 from repro.core.tags import INITIAL_TAG, TaggedGraph, TNode
 from repro.exceptions import ReproError
 from repro.lint.artifact import DeploymentArtifact
+from repro.topology.failures import TopologyDelta
 
 
 class FaultError(ReproError):
@@ -168,6 +170,26 @@ def rule_tag_cycle(artifact: DeploymentArtifact) -> DeploymentArtifact:
     return artifact
 
 
+def replan_drop_rule(
+    planner: IncrementalPlanner, delta: TopologyDelta
+) -> None:
+    """Re-plan correctly, then lose one rule install from the result.
+
+    Models a minimal-rule-diff applier that drops an install on its way
+    to the switch: the planner's view and the deployed tables disagree
+    by exactly one entry. The differential byte-identity oracle
+    (``incremental-divergence``) must catch it whenever the plan holds
+    any explicit rule at all — identity only on ELPs so short that no
+    transit rule is ever emitted.
+    """
+    planner.apply(delta)
+    for switch in sorted(planner.plan.tables):
+        table = planner.plan.tables[switch]
+        if table.rules:
+            del table.rules[sorted(table.rules)[0]]
+            return
+
+
 #: Greedy-stage faults: TaggedGraph -> corrupted TaggedGraph.
 GRAPH_FAULTS: Dict[str, Callable[[TaggedGraph], TaggedGraph]] = {
     "skip-r2": skip_r2,
@@ -189,9 +211,21 @@ ARTIFACT_FAULTS: Dict[
     "rule-tag-cycle": rule_tag_cycle,
 }
 
+#: Replan-stage faults: buggy delta application on an IncrementalPlanner.
+REPLAN_FAULTS: Dict[
+    str, Callable[[IncrementalPlanner, TopologyDelta], None]
+] = {
+    "replan-drop-rule": replan_drop_rule,
+}
+
 #: All fault names, for CLI/corpus validation.
 FAULTS = tuple(
-    sorted(set(GRAPH_FAULTS) | set(CLOS_FAULTS) | set(ARTIFACT_FAULTS))
+    sorted(
+        set(GRAPH_FAULTS)
+        | set(CLOS_FAULTS)
+        | set(ARTIFACT_FAULTS)
+        | set(REPLAN_FAULTS)
+    )
 )
 
 

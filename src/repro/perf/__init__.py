@@ -1,0 +1,34 @@
+"""Performance instrumentation: stage timers and persisted baselines.
+
+The ROADMAP's north star is a pipeline that runs "as fast as the
+hardware allows" — which is unfalsifiable without numbers. This package
+provides the two primitives that make speed claims checkable:
+
+- :class:`~repro.perf.timing.StageTimer` — wall-clock accounting per
+  pipeline stage (ELP enumeration, brute-force tagging, minimization,
+  rule compilation, ...), used by :class:`repro.core.planner.TaggerPlan`
+  and the incremental re-planner;
+- :mod:`~repro.perf.baseline` — a machine-readable baseline store
+  (``BENCH_pipeline.json``) that benchmarks write and CI / future PRs
+  read to track the performance trajectory.
+
+See ``docs/PERFORMANCE.md`` for the baseline schema and workflow.
+"""
+
+from repro.perf.baseline import (
+    BASELINE_SCHEMA,
+    BaselineEntry,
+    compare_stages,
+    load_baselines,
+    record_baseline,
+)
+from repro.perf.timing import StageTimer
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineEntry",
+    "StageTimer",
+    "compare_stages",
+    "load_baselines",
+    "record_baseline",
+]

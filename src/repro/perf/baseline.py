@@ -1,0 +1,130 @@
+"""Machine-readable performance baselines (``BENCH_pipeline.json``).
+
+The baseline file is a flat registry of named benchmark entries, each
+carrying per-stage wall-clock seconds plus free-form counters (path
+counts, tag counts, speedup ratios). Benchmarks under ``benchmarks/``
+record entries after each run; a future CI perf gate (or a reviewer)
+compares a fresh run against the committed file with
+:func:`compare_stages`.
+
+Schema (``docs/PERFORMANCE.md`` documents it in full)::
+
+    {
+      "schema": "repro-tagger-bench/1",
+      "entries": {
+        "<entry name>": {
+          "stages": {"<stage>": <seconds>, ...},
+          "total_seconds": <float>,
+          "meta": {...free-form JSON...}
+        }
+      }
+    }
+
+Timestamps are intentionally *not* recorded: the file is committed, and
+content-free churn on every benchmark run would poison diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+BASELINE_SCHEMA = "repro-tagger-bench/1"
+
+#: Default location, relative to the repository root.
+DEFAULT_BASELINE_NAME = "BENCH_pipeline.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One benchmark's recorded stage timings."""
+
+    name: str
+    stages: Dict[str, float]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stages.values())
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "stages": {k: round(v, 6) for k, v in self.stages.items()},
+            "total_seconds": round(self.total_seconds, 6),
+            "meta": self.meta,
+        }
+
+    @staticmethod
+    def from_json(name: str, blob: Dict[str, Any]) -> "BaselineEntry":
+        stages = {
+            str(k): float(v) for k, v in dict(blob.get("stages", {})).items()
+        }
+        meta = dict(blob.get("meta", {}))
+        return BaselineEntry(name=name, stages=stages, meta=meta)
+
+
+def load_baselines(path: Union[str, Path]) -> Dict[str, BaselineEntry]:
+    """Load all entries from a baseline file; empty dict if absent."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    blob = json.loads(file_path.read_text(encoding="utf-8"))
+    if blob.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{file_path}: unknown baseline schema {blob.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    entries = blob.get("entries", {})
+    return {
+        name: BaselineEntry.from_json(name, entry)
+        for name, entry in entries.items()
+    }
+
+
+def record_baseline(path: Union[str, Path], entry: BaselineEntry) -> None:
+    """Insert/replace ``entry`` in the baseline file (merge semantics).
+
+    Other entries are preserved, keys are emitted sorted, and the file is
+    valid even when created from scratch — so independent benchmarks can
+    each record their own entry without clobbering the rest.
+    """
+    file_path = Path(path)
+    entries = load_baselines(file_path)
+    entries[entry.name] = entry
+    blob = {
+        "schema": BASELINE_SCHEMA,
+        "entries": {
+            name: entries[name].to_json() for name in sorted(entries)
+        },
+    }
+    file_path.write_text(
+        json.dumps(blob, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def compare_stages(
+    baseline: BaselineEntry,
+    fresh: BaselineEntry,
+    tolerance: float = 1.5,
+) -> List[str]:
+    """Regression report: stages slower than ``tolerance``x the baseline.
+
+    Returns human-readable complaint strings (empty = no regression).
+    Stages absent from either side are skipped — adding a new stage is
+    not a regression, and micro-stages under 1 ms are ignored as noise.
+    """
+    complaints: List[str] = []
+    for stage, base_secs in baseline.stages.items():
+        if base_secs < 1e-3:
+            continue
+        fresh_secs = fresh.stages.get(stage)
+        if fresh_secs is None:
+            continue
+        if fresh_secs > base_secs * tolerance:
+            complaints.append(
+                f"{baseline.name}/{stage}: {fresh_secs:.3f}s vs baseline "
+                f"{base_secs:.3f}s (> {tolerance:.1f}x)"
+            )
+    return complaints

@@ -1,0 +1,62 @@
+"""Wall-clock stage timing for the planning pipeline.
+
+A :class:`StageTimer` accumulates elapsed seconds per named stage in
+insertion order. It is deliberately tiny — a context manager around
+``time.perf_counter`` — so the planner and re-planner can thread one
+through without depending on any benchmark framework.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per pipeline stage.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("elp"):
+    ...     pass
+    >>> "elp" in timer.timings()
+    True
+
+    Re-entering a stage name accumulates into the same bucket, so a
+    stage executed in a loop reports its total cost.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block of code, accumulating into stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually account ``seconds`` to stage ``name``."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def timings(self) -> Dict[str, float]:
+        """Per-stage seconds, in first-recorded order."""
+        return dict(self._seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._seconds
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={secs * 1000.0:.1f}ms"
+            for name, secs in self._seconds.items()
+        )
+        return f"StageTimer({parts})"

@@ -28,7 +28,11 @@ from repro.topology.failures import (
     FailureEvent,
     FailureSchedule,
     RandomLinkFailures,
+    TopologyDelta,
+    apply_delta,
     fail_links,
+    random_delta_sequence,
+    switch_links,
 )
 from repro.topology.expansion import ExpansionResult, expand_clos
 from repro.topology.flexible import (
@@ -68,5 +72,9 @@ __all__ = [
     "FailureEvent",
     "FailureSchedule",
     "RandomLinkFailures",
+    "TopologyDelta",
+    "apply_delta",
     "fail_links",
+    "random_delta_sequence",
+    "switch_links",
 ]

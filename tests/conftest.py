@@ -5,6 +5,16 @@ import pytest
 from repro.topology import ClosParams, Topology, clos3, testbed_clos
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden rule-table snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def testbed() -> Topology:
     """The paper's 8-switch / 16-host Clos testbed (Fig. 2)."""

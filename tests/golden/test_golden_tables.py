@@ -1,0 +1,78 @@
+"""Golden snapshot tests: frozen rule tables for canonical topologies.
+
+Each case compiles a full Tagger plan for one canonical fabric and
+compares its canonical rule tables (plus queue budget and pipeline
+description) against a JSON snapshot committed next to this file. Any
+change to the tagging pipeline that alters deployed rules — even a
+benign renumbering — shows up as a readable JSON diff in review rather
+than slipping through as "all invariants still hold".
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import ShortestPathElpProvider, TaggerPlan, UpDownElpProvider
+from repro.core.rules import canonical_tables
+from repro.topology import ClosParams, clos3, jellyfish, testbed_clos
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def _testbed_updown() -> TaggerPlan:
+    """The paper's 8-switch testbed (Fig. 2) with the baseline ELP."""
+    return TaggerPlan.from_provider(testbed_clos(), UpDownElpProvider())
+
+
+def _clos2_updown() -> TaggerPlan:
+    """A 2-pod production-shaped Clos slice."""
+    topo = clos3(ClosParams(num_pods=2, tors_per_pod=2, leaves_per_pod=2,
+                            num_spines=2, hosts_per_tor=1))
+    return TaggerPlan.from_provider(topo, UpDownElpProvider())
+
+
+def _jellyfish_shortest() -> TaggerPlan:
+    """A fixed-seed Jellyfish with pairwise shortest paths (Table 5)."""
+    topo = jellyfish(num_switches=8, ports_per_switch=4, network_ports=3,
+                     hosts_per_switch=1, seed=42)
+    return TaggerPlan.from_provider(topo, ShortestPathElpProvider())
+
+
+CASES = {
+    "testbed-clos-updown": _testbed_updown,
+    "clos2-updown": _clos2_updown,
+    "jellyfish8-shortest": _jellyfish_shortest,
+}
+
+
+def snapshot_of(plan: TaggerPlan) -> dict:
+    return {
+        "description": plan.description,
+        "num_lossless_queues": plan.num_lossless_queues,
+        "total_rules": plan.total_rules,
+        "tables": canonical_tables(plan.tables),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_rule_tables(name, request):
+    snapshot = snapshot_of(CASES[name]())
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        path.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+    assert path.exists(), (
+        f"golden snapshot {path.name} missing; regenerate with "
+        f"pytest tests/golden --update-golden"
+    )
+    frozen = json.loads(path.read_text())
+    assert snapshot == frozen, (
+        f"{name}: compiled plan diverged from the committed golden "
+        f"snapshot; if intentional, rerun with --update-golden"
+    )

@@ -1,0 +1,231 @@
+"""Property tests: incremental re-planning ≡ from-scratch planning.
+
+The :class:`~repro.core.replan.IncrementalPlanner` promises that after
+any sequence of topology deltas its plan is *certifiably equivalent* to
+rebuilding from scratch — byte-identical rule tables, identical tagged
+graph and queue map. Two layers enforce that here:
+
+- hypothesis: random Clos/Jellyfish fabrics under random churn
+  sequences (link down/up, drains, ELP path pins), equivalence checked
+  after every single delta;
+- a fixed-seed acceptance sweep: 200 randomized delta sequences whose
+  resulting plans must also pass the deployment linter with zero
+  errors (the ISSUE acceptance criterion).
+
+The same oracle runs continuously inside the fuzz harness as the
+``incremental-divergence`` invariant (:mod:`repro.fuzz.crosscheck`).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IncrementalPlanner,
+    ShortestPathElpProvider,
+    UpDownElpProvider,
+    tables_equal,
+)
+from repro.exceptions import TaggingError
+from repro.lint import DeploymentArtifact, lint_artifact
+from repro.topology import (
+    ClosParams,
+    TopologyDelta,
+    clos3,
+    jellyfish,
+    random_delta_sequence,
+    testbed_clos,
+)
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_equivalent(planner: IncrementalPlanner, label: str) -> None:
+    """The incremental plan must be indistinguishable from a rebuild."""
+    scratch = planner.scratch_plan()
+    plan = planner.plan
+    assert tables_equal(plan.tables, scratch.tables), (
+        f"{label}: rule tables diverged from from-scratch"
+    )
+    assert plan.graph == scratch.graph, (
+        f"{label}: tagged graph diverged from from-scratch"
+    )
+    assert plan.queue_map == scratch.queue_map, (
+        f"{label}: queue map diverged from from-scratch"
+    )
+    assert plan.description == scratch.description, (
+        f"{label}: description diverged from from-scratch"
+    )
+
+
+def drive(planner: IncrementalPlanner, deltas, label: str = "") -> None:
+    """Apply deltas in order, checking equivalence after every one.
+
+    The planner may refuse a delta that empties the ELP; that refusal is
+    legitimate only when the ELP really is empty, and the planner must
+    keep absorbing later deltas (recovery).
+    """
+    for i, delta in enumerate(deltas):
+        step = f"{label}step {i} ({delta.describe()})"
+        try:
+            planner.apply(delta)
+        except TaggingError:
+            assert not planner.elp_paths(), (
+                f"{step}: refused to plan a non-empty ELP"
+            )
+            continue
+        assert_equivalent(planner, step)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random fabrics under random churn
+# ----------------------------------------------------------------------
+@st.composite
+def clos_churn(draw):
+    params = ClosParams(
+        num_pods=draw(st.integers(min_value=1, max_value=3)),
+        tors_per_pod=draw(st.integers(min_value=2, max_value=3)),
+        leaves_per_pod=draw(st.integers(min_value=1, max_value=2)),
+        num_spines=draw(st.integers(min_value=1, max_value=2)),
+        hosts_per_tor=draw(st.integers(min_value=0, max_value=1)),
+    )
+    topo = clos3(params)
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    length = draw(st.integers(min_value=1, max_value=8))
+    return topo, random_delta_sequence(topo, length, seed)
+
+
+@st.composite
+def jellyfish_churn(draw):
+    num_switches = draw(st.integers(min_value=4, max_value=8))
+    network_ports = draw(
+        st.integers(min_value=2, max_value=min(3, num_switches - 1))
+    )
+    if (num_switches * network_ports) % 2 != 0:
+        num_switches += 1
+    topo = jellyfish(
+        num_switches=num_switches,
+        ports_per_switch=network_ports + 1,
+        network_ports=network_ports,
+        hosts_per_switch=draw(st.integers(min_value=0, max_value=1)),
+        seed=draw(st.integers(min_value=0, max_value=2**20)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    length = draw(st.integers(min_value=1, max_value=6))
+    per_pair = draw(st.integers(min_value=1, max_value=2))
+    return topo, random_delta_sequence(topo, length, seed), per_pair
+
+
+@given(clos_churn())
+@SETTINGS
+def test_clos_updown_churn_matches_scratch(data):
+    topo, deltas = data
+    planner = IncrementalPlanner(topo, UpDownElpProvider())
+    assert_equivalent(planner, "initial build")
+    drive(planner, deltas)
+
+
+@given(jellyfish_churn())
+@SETTINGS
+def test_jellyfish_shortest_churn_matches_scratch(data):
+    topo, deltas, per_pair = data
+    planner = IncrementalPlanner(
+        topo, ShortestPathElpProvider(per_pair=per_pair)
+    )
+    assert_equivalent(planner, "initial build")
+    drive(planner, deltas)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**20),
+    st.sampled_from(["paper", "off"]),
+)
+@SETTINGS
+def test_non_deterministic_minimize_modes_match_scratch(seed, minimize):
+    topo = testbed_clos()
+    planner = IncrementalPlanner(topo, UpDownElpProvider(), minimize=minimize)
+    assert_equivalent(planner, f"initial build ({minimize})")
+    drive(planner, random_delta_sequence(topo, 4, seed), f"{minimize} ")
+
+
+@given(st.data())
+@SETTINGS
+def test_path_pins_interleaved_with_churn(data):
+    topo = clos3(ClosParams(num_pods=2, tors_per_pod=2, leaves_per_pod=1,
+                            num_spines=2, hosts_per_tor=1))
+    planner = IncrementalPlanner(topo, UpDownElpProvider())
+    pins = data.draw(
+        st.lists(
+            st.sampled_from(sorted(planner.elp_paths())),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    churn = random_delta_sequence(
+        topo, 2, data.draw(st.integers(min_value=0, max_value=2**20))
+    )
+    deltas = [TopologyDelta.add_paths(pins)]
+    deltas.extend(churn)
+    deltas.append(TopologyDelta.remove_paths(pins))
+    drive(planner, deltas, "pins ")
+
+
+# ----------------------------------------------------------------------
+# Acceptance sweep: 200 randomized delta sequences, lint-clean plans
+# ----------------------------------------------------------------------
+def _recipes():
+    """Small, cheap fabrics rotated through the acceptance sweep."""
+    return (
+        lambda: (
+            clos3(ClosParams(num_pods=2, tors_per_pod=2, leaves_per_pod=1,
+                             num_spines=2, hosts_per_tor=1)),
+            UpDownElpProvider(),
+        ),
+        lambda: (
+            clos3(ClosParams(num_pods=1, tors_per_pod=3, leaves_per_pod=2,
+                             num_spines=1, hosts_per_tor=1)),
+            UpDownElpProvider(),
+        ),
+        lambda: (
+            jellyfish(num_switches=6, ports_per_switch=4, network_ports=3,
+                      hosts_per_switch=1, seed=13),
+            ShortestPathElpProvider(),
+        ),
+        lambda: (
+            jellyfish(num_switches=8, ports_per_switch=3, network_ports=2,
+                      hosts_per_switch=0, seed=29),
+            ShortestPathElpProvider(per_pair=2),
+        ),
+    )
+
+
+def _assert_lint_clean(planner: IncrementalPlanner, label: str) -> None:
+    plan = planner.plan
+    artifact = DeploymentArtifact(
+        topo=plan.topo, tables=plan.tables, queue_map=plan.queue_map
+    )
+    report = lint_artifact(artifact)
+    assert not report.errors, (
+        f"{label}: lint errors on incremental plan: "
+        f"{[d.render() for d in report.errors[:3]]}"
+    )
+
+
+@pytest.mark.parametrize("chunk", range(10))
+def test_acceptance_200_randomized_sequences(chunk):
+    """ISSUE acceptance: 200 randomized delta sequences, each step's
+    incremental plan byte-identical to from-scratch, final plan linting
+    with zero errors. Split into 10 chunks of 20 sequences."""
+    recipes = _recipes()
+    for i in range(20):
+        sequence_id = chunk * 20 + i
+        topo, provider = recipes[sequence_id % len(recipes)]()
+        planner = IncrementalPlanner(topo, provider)
+        deltas = random_delta_sequence(topo, 3, seed=1000 + sequence_id)
+        drive(planner, deltas, f"seq {sequence_id} ")
+        _assert_lint_clean(planner, f"seq {sequence_id}")

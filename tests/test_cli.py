@@ -129,6 +129,68 @@ class TestDemo:
         assert "no deadlock" in out
 
 
+class TestReplan:
+    def test_flap_with_scratch_comparison(self, capsys):
+        code = main(
+            [
+                "replan",
+                "--topology", "clos",
+                "--delta", "down:L1:S1",
+                "--delta", "up:L1:S1",
+                "--delta", "drain:L2",
+                "--delta", "undrain:L2",
+                "--compare-scratch",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "initial build:" in out
+        assert "link-down L1<->S1: incremental" in out
+        assert "link-up L1<->S1: memo" in out
+        assert "byte-identical to from-scratch" in out
+
+    def test_jellyfish_replan(self, capsys):
+        code = main(
+            [
+                "replan",
+                "--topology", "jellyfish",
+                "--switches", "10",
+                "--ports", "6",
+                "--seed", "3",
+                "--compare-scratch",
+            ]
+        )
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_export_lints_clean(self, tmp_path, capsys):
+        out_file = tmp_path / "replanned.json"
+        code = main(
+            [
+                "replan",
+                "--topology", "clos",
+                "--delta", "down:L1:S1",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        blob = json.loads(out_file.read_text())
+        assert blob["deltas"] == ["link-down L1<->S1"]
+        assert blob["failed_links"] == [["L1", "S1"]]
+        capsys.readouterr()
+        assert main(["lint", str(out_file)]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["down:L1", "sideways:L1:S1", "drain", "add-paths", "up:A:B:C"],
+    )
+    def test_bad_delta_spec_rejected(self, spec, capsys):
+        code = main(["replan", "--topology", "clos", "--delta", spec])
+        assert code == 1
+        assert "bad delta spec" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
