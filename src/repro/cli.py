@@ -39,6 +39,19 @@ from repro.core.rules import RuleTable
 from repro.exceptions import ReproError
 from repro.topology import ClosParams, Topology, clos3, jellyfish
 
+# ----------------------------------------------------------------------
+# Exit codes — uniform across every subcommand (see docs/DEPLOYMENT.md):
+#   0  success
+#   1  error, divergence, unsafe plan, escaped injected fault
+#   2  completed with warnings (lint --strict leftovers, demo deadlock,
+#      degraded rollout with quarantined switches)
+#   3  rollout rolled back to the previous certified plan
+# ----------------------------------------------------------------------
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_WARNINGS = 2
+EXIT_ROLLED_BACK = 3
+
 
 # ----------------------------------------------------------------------
 # Topology construction from CLI args
@@ -132,8 +145,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
         print(f"exported rules for {len(blob['rules'])} switches to {args.out}")
     if not report.deadlock_free:
         print("ERROR: plan failed verification", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_ERROR
+    return EXIT_OK
 
 
 def _load_plan_artifacts(
@@ -155,7 +168,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         report = assert_deadlock_free(graph)
     except ReproError as exc:
         print(f"UNSAFE: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     print(f"fabric: {topo}")
     print(f"verification: {report.summary()}")
     if args.lint:
@@ -164,8 +177,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         if not lint_report.ok:
             for diag in lint_report.errors:
                 print(diag.render(), file=sys.stderr)
-            return 1
-    return 0
+            return EXIT_ERROR
+    return EXIT_OK
 
 
 def _lint_blob(
@@ -203,10 +216,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"machine-readable report written to {args.json}")
     if not report.ok:
-        return 1
+        return EXIT_ERROR
     if args.strict and report.warnings:
-        return 2
-    return 0
+        return EXIT_WARNINGS
+    return EXIT_OK
 
 
 def _parse_delta(spec: str) -> "TopologyDelta":
@@ -302,7 +315,7 @@ def cmd_replan(args: argparse.Namespace) -> int:
                 "ERROR: incremental plan diverges from from-scratch plan",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_ERROR
         print("incremental plan is byte-identical to from-scratch plan")
     if args.out:
         blob = plan_to_dict(args, planner.plan)
@@ -311,7 +324,7 @@ def cmd_replan(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(blob, handle, indent=2, sort_keys=True)
         print(f"exported rules for {len(blob['rules'])} switches to {args.out}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -367,9 +380,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     cycle = find_deadlock_cycle(net)
     if cycle:
         print(f"DEADLOCK across {sorted({n[0] for n in cycle})}")
-        return 2
+        return EXIT_WARNINGS
     print("no deadlock")
-    return 0
+    return EXIT_OK
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -398,13 +411,196 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.inject_fault:
         if report.fault_caught:
             print(f"injected fault {args.inject_fault!r} was caught")
-            return 0
+            return EXIT_OK
         print(
             f"ERROR: injected fault {args.inject_fault!r} escaped detection",
             file=sys.stderr,
         )
-        return 1
-    return 0 if report.ok else 1
+        return EXIT_ERROR
+    return EXIT_OK if report.ok else EXIT_ERROR
+
+
+def _parse_fault_spec(spec: str) -> Tuple[str, Tuple[str, ...]]:
+    """Parse ``SWITCH:fate[,fate...]`` (e.g. ``S1:timeout,duplicate``)."""
+    from repro.deploy import FAULT_KINDS, FAULT_OK
+
+    switch, _, fates_spec = spec.partition(":")
+    if not switch or not fates_spec:
+        raise ReproError(
+            f"bad fault spec {spec!r}; expected SWITCH:fate[,fate...]"
+        )
+    fates = tuple(fates_spec.split(","))
+    for fate in fates:
+        if fate not in FAULT_KINDS and fate != FAULT_OK:
+            raise ReproError(
+                f"unknown fault {fate!r}; choose from "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+    return switch, fates
+
+
+def _parse_stuck_spec(spec: str) -> Tuple[str, int]:
+    """Parse ``SWITCH[:K]`` — switch wedged from its K-th send on."""
+    switch, _, index = spec.partition(":")
+    if not switch:
+        raise ReproError(f"bad stuck spec {spec!r}; expected SWITCH[:K]")
+    return switch, int(index) if index else 0
+
+
+def _deploy_transition(
+    args: argparse.Namespace,
+) -> Tuple[Topology, Dict[str, RuleTable], Dict[str, RuleTable]]:
+    """Build (topo, old tables, new tables) for the requested deltas."""
+    from repro.core import (
+        IncrementalPlanner,
+        ShortestPathElpProvider,
+        UpDownElpProvider,
+    )
+
+    topo = build_topology(args)
+    provider = (
+        UpDownElpProvider()
+        if args.topology == "clos"
+        else ShortestPathElpProvider()
+    )
+    planner = IncrementalPlanner(topo, provider)
+    old = dict(planner.plan.tables)
+    deltas = [_parse_delta(spec) for spec in (args.delta or [])]
+    if not deltas:
+        raise ReproError(
+            "deploy needs at least one --delta to define the target plan "
+            "(e.g. --delta down:L1:S1)"
+        )
+    for delta in deltas:
+        planner.apply(delta)
+    return topo, old, dict(planner.plan.tables)
+
+
+def _deploy_exit_code(outcome: str) -> int:
+    from repro.deploy import CONVERGED, DEGRADED, ROLLED_BACK
+
+    if outcome == CONVERGED:
+        return EXIT_OK
+    if outcome == DEGRADED:
+        return EXIT_WARNINGS
+    if outcome == ROLLED_BACK:
+        return EXIT_ROLLED_BACK
+    return EXIT_ERROR  # refused / failed
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Roll a re-planned table transition onto a simulated agent fleet.
+
+    The transition is ``initial plan -> plan after --delta``, certified
+    by the transitional-safety verifier and pushed over a management
+    network with injectable faults (``--faults``, ``--stuck``,
+    ``--fault-rate``). ``--chaos N`` instead sweeps N seeded random
+    fault schedules and demands every run end converged, degraded or
+    cleanly rolled back with lint-clean final tables.
+    """
+    import time
+
+    from repro.core.rules import diff_tables
+    from repro.deploy import (
+        FaultPlan,
+        RolloutConfig,
+        random_fault_plan,
+        run_rollout,
+    )
+
+    topo, old, new = _deploy_transition(args)
+    diffs = diff_tables(old, new)
+    config = RolloutConfig(
+        max_attempts=args.max_attempts,
+        max_wave_size=args.wave_size,
+        quarantine=not args.no_quarantine,
+        seed=args.seed,
+    )
+    print(f"fabric: {topo}")
+    print(f"transition: {len(diffs)} switch(es) to update")
+
+    if args.chaos:
+        start = time.perf_counter()
+        outcomes: Dict[str, int] = {}
+        unsafe = 0
+        runs = 0
+        for index in range(args.chaos):
+            if (
+                args.time_budget is not None
+                and time.perf_counter() - start > args.time_budget
+            ):
+                print(
+                    f"time budget hit after {runs} run(s); "
+                    f"{args.chaos - runs} skipped"
+                )
+                break
+            faults = random_fault_plan(
+                sorted(diffs),
+                seed=args.seed + index,
+                rate=args.fault_rate,
+                stuck_prob=args.stuck_prob,
+            )
+            report = run_rollout(topo, old, new, config=config, faults=faults)
+            runs += 1
+            outcomes[report.outcome] = outcomes.get(report.outcome, 0) + 1
+            if not (report.ok and report.final_lint_ok):
+                unsafe += 1
+                print(
+                    f"UNSAFE run (seed {args.seed + index}): "
+                    f"{report.outcome} — {report.detail}",
+                    file=sys.stderr,
+                )
+        elapsed = time.perf_counter() - start
+        summary = ", ".join(
+            f"{name}: {count}" for name, count in sorted(outcomes.items())
+        )
+        print(f"chaos sweep: {runs} run(s) in {elapsed:.1f}s — {summary}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "mode": "chaos",
+                        "runs": runs,
+                        "requested": args.chaos,
+                        "seed": args.seed,
+                        "fault_rate": args.fault_rate,
+                        "stuck_prob": args.stuck_prob,
+                        "outcomes": outcomes,
+                        "unsafe": unsafe,
+                        "elapsed_seconds": round(elapsed, 3),
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"report written to {args.report}")
+        if unsafe:
+            print(f"ERROR: {unsafe} unsafe run(s)", file=sys.stderr)
+            return EXIT_ERROR
+        print("every run ended on a certified plan with lint-clean tables")
+        return EXIT_OK
+
+    faults = FaultPlan()
+    for spec in args.faults or []:
+        switch, fates = _parse_fault_spec(spec)
+        faults.fates[switch] = fates
+    for spec in args.stuck or []:
+        switch, index = _parse_stuck_spec(spec)
+        faults.stuck_from[switch] = index
+    if args.fault_rate and not (args.faults or args.stuck):
+        faults = random_fault_plan(
+            sorted(diffs), seed=args.seed, rate=args.fault_rate,
+            stuck_prob=args.stuck_prob,
+        )
+    print(f"faults: {faults.describe()}")
+    report = run_rollout(topo, old, new, config=config, faults=faults)
+    print(report.describe())
+    print(f"  {_format_timings(report.timings)}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    return _deploy_exit_code(report.outcome)
 
 
 # ----------------------------------------------------------------------
@@ -554,6 +750,84 @@ def make_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--report", type=str, default=None)
     fuzz.set_defaults(func=cmd_fuzz)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="roll a re-planned transition onto a simulated agent fleet "
+        "with injectable management-plane faults",
+    )
+    deploy.add_argument(
+        "--topology", choices=("clos", "jellyfish"), default="clos"
+    )
+    deploy.add_argument("--pods", type=int, default=2)
+    deploy.add_argument("--tors", type=int, default=2)
+    deploy.add_argument("--leaves", type=int, default=2)
+    deploy.add_argument("--spines", type=int, default=2)
+    deploy.add_argument("--hosts", type=int, default=4)
+    deploy.add_argument("--switches", type=int, default=50)
+    deploy.add_argument("--ports", type=int, default=12)
+    deploy.add_argument("--seed", type=int, default=7)
+    deploy.add_argument(
+        "--delta",
+        action="append",
+        metavar="SPEC",
+        help="topology delta defining the target plan (same specs as "
+        "replan); repeatable, at least one required",
+    )
+    deploy.add_argument(
+        "--faults",
+        action="append",
+        metavar="SWITCH:FATE[,FATE...]",
+        help="explicit per-switch fault schedule (fates: timeout, "
+        "crash-before-ack, crash-after-apply, partial-batch, duplicate, "
+        "reorder, ok); repeatable",
+    )
+    deploy.add_argument(
+        "--stuck",
+        action="append",
+        metavar="SWITCH[:K]",
+        help="wedge a switch (permanent timeouts) from its K-th send on",
+    )
+    deploy.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        dest="fault_rate",
+        help="seeded random fault probability per send (used when no "
+        "explicit --faults/--stuck are given, and by --chaos)",
+    )
+    deploy.add_argument(
+        "--stuck-prob",
+        type=float,
+        default=0.0,
+        dest="stuck_prob",
+        help="probability a switch is permanently wedged (random plans)",
+    )
+    deploy.add_argument(
+        "--chaos",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sweep N seeded random fault schedules; exit 0 iff every "
+        "run ends on a certified plan with lint-clean tables",
+    )
+    deploy.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        dest="time_budget",
+        help="wall-clock cap in seconds for --chaos sweeps",
+    )
+    deploy.add_argument("--max-attempts", type=int, default=8, dest="max_attempts")
+    deploy.add_argument("--wave-size", type=int, default=8, dest="wave_size")
+    deploy.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        dest="no_quarantine",
+        help="roll back instead of quarantining stuck switches",
+    )
+    deploy.add_argument("--report", type=str, default=None)
+    deploy.set_defaults(func=cmd_deploy)
     return parser
 
 
@@ -563,7 +837,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except OSError as exc:
+        # Missing plan file, unwritable report path, ...: a clean
+        # diagnostic and exit 1, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON input: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

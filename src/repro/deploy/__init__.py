@@ -1,0 +1,110 @@
+"""Fault-tolerant rollout of Tagger rule tables (paper §7).
+
+The deployment stack has three layers, bottom up:
+
+- :mod:`repro.deploy.agent` — per-switch agents with idempotent,
+  epoch-stamped batch applies and crash semantics;
+- :mod:`repro.deploy.transport` — the lossy management network and the
+  seeded, injectable fault vocabulary;
+- :mod:`repro.deploy.verifier` / :mod:`repro.deploy.orchestrator` — the
+  transitional-safety certificate and the wave-ordered rollout driver
+  built on it.
+
+See ``docs/DEPLOYMENT.md`` for the fault model and the safety argument.
+"""
+
+from repro.deploy.agent import (
+    ACK_DUPLICATE,
+    ACK_OK,
+    ACK_STALE,
+    NACK_PARTIAL,
+    OP_REMOVE,
+    OP_SET,
+    TIMEOUT,
+    AgentReply,
+    ApplyBatch,
+    ApplyOp,
+    SwitchAgent,
+    fleet_from_tables,
+    ops_from_diff,
+    ops_to_table,
+)
+from repro.deploy.orchestrator import (
+    CONVERGED,
+    DEGRADED,
+    FAILED,
+    REFUSED,
+    ROLLED_BACK,
+    SAFE_OUTCOMES,
+    RolloutConfig,
+    RolloutOrchestrator,
+    RolloutReport,
+    SwitchOutcome,
+    plan_waves,
+    run_rollout,
+)
+from repro.deploy.transport import (
+    FAULT_CRASH_AFTER_APPLY,
+    FAULT_CRASH_BEFORE_ACK,
+    FAULT_DUPLICATE,
+    FAULT_KINDS,
+    FAULT_OK,
+    FAULT_PARTIAL,
+    FAULT_REORDER,
+    FAULT_TIMEOUT,
+    FaultPlan,
+    ManagementNetwork,
+    RpcRecord,
+    random_fault_plan,
+)
+from repro.deploy.verifier import (
+    TransitionCertificate,
+    certify_rollout,
+    mixed_tables,
+    transition_queue_map,
+)
+
+__all__ = [
+    "ACK_DUPLICATE",
+    "ACK_OK",
+    "ACK_STALE",
+    "NACK_PARTIAL",
+    "OP_REMOVE",
+    "OP_SET",
+    "TIMEOUT",
+    "AgentReply",
+    "ApplyBatch",
+    "ApplyOp",
+    "SwitchAgent",
+    "fleet_from_tables",
+    "ops_from_diff",
+    "ops_to_table",
+    "CONVERGED",
+    "DEGRADED",
+    "FAILED",
+    "REFUSED",
+    "ROLLED_BACK",
+    "SAFE_OUTCOMES",
+    "RolloutConfig",
+    "RolloutOrchestrator",
+    "RolloutReport",
+    "SwitchOutcome",
+    "plan_waves",
+    "run_rollout",
+    "FAULT_CRASH_AFTER_APPLY",
+    "FAULT_CRASH_BEFORE_ACK",
+    "FAULT_DUPLICATE",
+    "FAULT_KINDS",
+    "FAULT_OK",
+    "FAULT_PARTIAL",
+    "FAULT_REORDER",
+    "FAULT_TIMEOUT",
+    "FaultPlan",
+    "ManagementNetwork",
+    "RpcRecord",
+    "random_fault_plan",
+    "TransitionCertificate",
+    "certify_rollout",
+    "mixed_tables",
+    "transition_queue_map",
+]

@@ -40,6 +40,10 @@ class LintError(ReproError):
     """The deployment linter was given an artifact it cannot analyze."""
 
 
+class DeploymentError(ReproError):
+    """The rollout orchestrator refused or could not complete a rollout."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was configured or driven incorrectly."""
 

@@ -31,6 +31,10 @@ invariant                   meaning
 ``incremental-divergence``  after a link flap, the incremental re-plan
                             differs from the from-scratch plan (rule
                             tables or tagged graph)
+``deployment-divergence``   rolling the re-planned diff onto an agent
+                            fleet through a benign fault schedule failed
+                            to converge to the exact target with
+                            lint-clean tables (:mod:`repro.deploy`)
 ==========================  ============================================
 
 The checks never raise on a violation — they *record* it, so the harness
@@ -66,6 +70,7 @@ from repro.exceptions import ReproError
 from repro.fuzz.faults import (
     ARTIFACT_FAULTS,
     CLOS_FAULTS,
+    DEPLOY_FAULTS,
     GRAPH_FAULTS,
     REPLAN_FAULTS,
 )
@@ -186,6 +191,9 @@ def cross_check(
 
     # -- Incremental re-planner vs from-scratch ------------------------
     _check_replan(result, scenario, fault)
+
+    # -- Rollout of the re-planned transition over a faulty fleet ------
+    _check_deploy(result, scenario, fault)
 
     return result
 
@@ -463,3 +471,102 @@ def _check_replan(
             )
             return
     result.stats["replan"] = f"checked (flapped {link[0]}<->{link[1]})"
+
+
+def _check_deploy(
+    result: CrossCheckResult, scenario: Scenario, fault: Optional[str]
+) -> None:
+    """Rollout invariant: a benign fault schedule must still converge.
+
+    Re-plans the scenario across one link failure, then pushes the
+    resulting diff onto a fresh agent fleet through a *benign* seeded
+    fault schedule — finite timeouts, crashes, partial batches,
+    duplicates and reorders, but no permanently wedged switch. Under
+    those conditions the orchestrator has no excuse: the rollout must
+    end ``converged``, byte-identical to the target plan, with
+    lint-clean final tables (``deployment-divergence`` otherwise). A
+    deploy-stage fault installs a buggy agent first; divergence then
+    *must* be flagged, proving readback verification is load-bearing.
+    Rollback and quarantine paths are exercised by the unit/chaos tests,
+    not here — accepting a "clean rollback" would let an agent that
+    applies nothing and acks anyway pass as a no-op rollout.
+    """
+    from repro.core.rules import RuleTable, diff_tables
+    from repro.deploy import (
+        CONVERGED,
+        RolloutConfig,
+        RolloutOrchestrator,
+        fleet_from_tables,
+        random_fault_plan,
+    )
+
+    provider = _replan_provider(scenario)
+    if provider is None:
+        result.stats["deploy"] = "skipped: ELP not pair-decomposable"
+        return
+    topo = scenario.build_topology()
+    try:
+        planner = IncrementalPlanner(topo, provider)
+    except ReproError:
+        # Initial build failures are _check_replan's to report.
+        result.stats["deploy"] = "skipped: initial build failed"
+        return
+    link = _replan_flap_link(planner)
+    if link is None:
+        result.stats["deploy"] = "skipped: no safe link to flap"
+        return
+    old = {
+        switch: RuleTable(
+            switch=switch, rules=dict(table.rules), policy=table.policy
+        )
+        for switch, table in planner.plan.tables.items()
+    }
+    try:
+        planner.apply(TopologyDelta.link_down(*link))
+    except ReproError:
+        result.stats["deploy"] = "skipped: replan refused the flap"
+        return
+    new = dict(planner.plan.tables)
+    diffs = diff_tables(old, new)
+    if not diffs:
+        result.stats["deploy"] = "skipped: empty diff"
+        return
+
+    agents = fleet_from_tables(
+        old, extra_switches=tuple(sorted(set(new) - set(old)))
+    )
+    if fault in DEPLOY_FAULTS:
+        DEPLOY_FAULTS[fault](
+            {s: agents[s] for s in sorted(diffs) if s in agents}
+        )
+    faults_plan = random_fault_plan(
+        sorted(diffs), seed=scenario.seed, rate=0.3
+    )
+    config = RolloutConfig(lint_boundaries=False, seed=scenario.seed)
+    report = RolloutOrchestrator(
+        planner.topo,
+        old,
+        new,
+        config=config,
+        agents=agents,
+        faults=faults_plan,
+    ).run()
+    report_ok = (
+        report.outcome == CONVERGED
+        and report.final_lint_ok
+        and report.final_matches_target
+    )
+    if not report_ok:
+        result.violations.append(
+            Violation(
+                "deployment-divergence",
+                f"benign rollout ended {report.outcome!r} "
+                f"(lint_ok={report.final_lint_ok}, "
+                f"matches_target={report.final_matches_target}): "
+                f"{report.detail}",
+            )
+        )
+        return
+    result.stats["deploy"] = (
+        f"checked ({len(diffs)} switch diff, {report.rpc_count} rpcs)"
+    )

@@ -15,7 +15,10 @@ not by construction alone.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.deploy.agent import ApplyOp, SwitchAgent
 
 from repro.core.clos import ClosTagger
 from repro.core.compression import TcamEntry
@@ -218,6 +221,46 @@ REPLAN_FAULTS: Dict[
     "replan-drop-rule": replan_drop_rule,
 }
 
+
+def deploy_phantom_ack(agents: Dict[str, "SwitchAgent"]) -> None:
+    """Make one diff-carrying agent ack batches without applying any op.
+
+    Models the classic lying switch agent: the RPC layer works, the
+    journal records the batch, but the TCAM write path is broken. Acks
+    alone would declare the rollout converged; the orchestrator's
+    readback verification must observe the stale table, fail to
+    reconcile, and refuse to report convergence — which the
+    ``deployment-divergence`` invariant then flags.
+    """
+    for switch in sorted(agents):
+        agents[switch].op_filter = lambda op: None
+        return
+
+
+def deploy_lost_remove(agents: Dict[str, "SwitchAgent"]) -> None:
+    """Make every agent silently drop delete operations (installs work).
+
+    Models an agent (or ASIC SDK) whose delete path no-ops while still
+    acking — deployed tables keep stale rules forever. Identity on
+    transitions with no removed rules; otherwise readback verification
+    sees the leftovers and the rollout cannot converge.
+    """
+    from repro.deploy.agent import OP_REMOVE
+
+    def drop_removes(op: "ApplyOp") -> "Optional[ApplyOp]":
+        return None if op.action == OP_REMOVE else op
+
+    for agent in agents.values():
+        agent.op_filter = drop_removes
+
+
+#: Deploy-stage faults: install buggy behavior on a fleet of SwitchAgents
+#: (keyed by switch name) before the rollout runs.
+DEPLOY_FAULTS: Dict[str, Callable[[Dict[str, "SwitchAgent"]], None]] = {
+    "deploy-phantom-ack": deploy_phantom_ack,
+    "deploy-lost-remove": deploy_lost_remove,
+}
+
 #: All fault names, for CLI/corpus validation.
 FAULTS = tuple(
     sorted(
@@ -225,6 +268,7 @@ FAULTS = tuple(
         | set(CLOS_FAULTS)
         | set(ARTIFACT_FAULTS)
         | set(REPLAN_FAULTS)
+        | set(DEPLOY_FAULTS)
     )
 )
 

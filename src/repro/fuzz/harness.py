@@ -118,7 +118,7 @@ class FuzzReport:
 
 
 #: Static invariants evaluated per scenario (for the checks counter).
-_CHECKS_PER_SCENARIO = 15
+_CHECKS_PER_SCENARIO = 16
 
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:

@@ -48,6 +48,13 @@ class PfcWatchdog:
         detection_time: Continuous paused-and-backlogged duration that
             triggers the watchdog for a queue.
         poll: Scan period.
+        rearm_base: Hold-off before a queue whose storm episode just
+            ended may trigger again. ``0.0`` (default) re-arms
+            immediately — the historical behavior. Each further episode
+            on the same queue multiplies the hold-off by
+            ``rearm_multiplier`` (capped at ``rearm_max``), so a queue
+            that storms over and over backs off instead of re-triggering
+            every poll tick.
         events: Log of storms (first trigger per episode; while an
             episode persists, subsequent drained packets are added to
             drops but not logged as new events).
@@ -56,9 +63,14 @@ class PfcWatchdog:
     net: "SimNetwork"
     detection_time: float = 0.02
     poll: float = 0.005
+    rearm_base: float = 0.0
+    rearm_multiplier: float = 2.0
+    rearm_max: float = 1.0
     events: List[StormEvent] = field(default_factory=list)
     _stalled_since: Dict[QueueKey, float] = field(default_factory=dict)
     _storming: Dict[QueueKey, bool] = field(default_factory=dict)
+    _episodes: Dict[QueueKey, int] = field(default_factory=dict)
+    _rearm_until: Dict[QueueKey, float] = field(default_factory=dict)
     _installed: bool = False
 
     def install(self) -> None:
@@ -66,6 +78,15 @@ class PfcWatchdog:
             return
         self._installed = True
         self.net.sim.schedule(self.poll, self._tick)
+
+    def rearm_delay(self, episode: int) -> float:
+        """Hold-off after the ``episode``-th completed storm (1-based)."""
+        if self.rearm_base <= 0.0 or episode < 1:
+            return 0.0
+        return min(
+            self.rearm_max,
+            self.rearm_base * (self.rearm_multiplier ** (episode - 1)),
+        )
 
     def _tick(self) -> None:
         now = self.net.sim.now
@@ -76,7 +97,15 @@ class PfcWatchdog:
                         continue
                     key = (switch_name, port, queue)
                     if not tx.pause.is_paused(queue):
-                        self._storming.pop(key, None)
+                        if self._storming.pop(key, None):
+                            # Episode over: schedule the re-arm hold-off.
+                            count = self._episodes.get(key, 0) + 1
+                            self._episodes[key] = count
+                            self._rearm_until[key] = now + self.rearm_delay(
+                                count
+                            )
+                        continue
+                    if now < self._rearm_until.get(key, 0.0):
                         continue
                     # True continuous pause duration, not poll sampling:
                     # ordinary congestion toggles pause every few hundred

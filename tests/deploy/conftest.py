@@ -1,0 +1,31 @@
+"""Shared fixture: a real re-planned table transition on the testbed."""
+
+import pytest
+
+from repro.core.elp import UpDownElpProvider
+from repro.core.replan import IncrementalPlanner
+from repro.core.rules import diff_tables
+from repro.topology.clos import testbed_clos
+from repro.topology.failures import TopologyDelta
+
+
+@pytest.fixture(scope="session")
+def transition():
+    """(topo, old tables, new tables) for the L1<->S1 failure replan.
+
+    Session-scoped: the planner run is the expensive part and the
+    transition is read-only for every consumer. The topology carries the
+    failed link, matching what the fleet will route around.
+    """
+    topo = testbed_clos()
+    planner = IncrementalPlanner(topo, UpDownElpProvider())
+    old = {
+        switch: table.__class__(
+            switch=switch, rules=dict(table.rules), policy=table.policy
+        )
+        for switch, table in planner.plan.tables.items()
+    }
+    planner.apply(TopologyDelta.link_down("L1", "S1"))
+    new = dict(planner.plan.tables)
+    assert diff_tables(old, new), "fixture transition must be non-trivial"
+    return planner.topo, old, new

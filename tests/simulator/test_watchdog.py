@@ -151,3 +151,61 @@ class TestLiveLinkFailure:
         assert check["injected"] == (
             check["delivered"] + check["dropped"] + check["in_flight"]
         )
+
+
+class TestRearmBackoff:
+    """The configurable post-storm hold-off (exponential per-queue)."""
+
+    def test_default_rearms_immediately(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        watchdog = PfcWatchdog(net)
+        assert watchdog.rearm_base == 0.0
+        assert [watchdog.rearm_delay(e) for e in range(5)] == [0.0] * 5
+
+    def test_schedule_is_capped_exponential(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        watchdog = PfcWatchdog(
+            net, rearm_base=0.01, rearm_multiplier=2.0, rearm_max=0.05
+        )
+        delays = [watchdog.rearm_delay(e) for e in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+        assert watchdog.rearm_delay(0) == 0.0  # no completed episode yet
+
+    def test_custom_multiplier(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        watchdog = PfcWatchdog(
+            net, rearm_base=0.01, rearm_multiplier=3.0, rearm_max=1.0
+        )
+        assert watchdog.rearm_delay(3) == pytest.approx(0.09)
+
+    def test_backoff_reduces_repeat_storms(self, testbed):
+        """A receiver that stalls over and over re-forms the CBD and
+        re-triggers the naive watchdog episode after episode; a re-arm
+        hold-off makes the same scenario log strictly fewer storm
+        events and destroy strictly fewer packets."""
+
+        def flapping_run(rearm_base):
+            net = deadlock_net(testbed)
+            # deadlock_net stalls H2 once at 0.05; add two more stall
+            # windows so queues that drained after an episode storm
+            # again — exactly what the hold-off is meant to damp.
+            for t0 in (0.2, 0.35):
+                net.at(t0, lambda: net.set_receiver_rate("H2", 5e7))
+                net.at(t0 + 0.03, lambda: net.set_receiver_rate("H2", None))
+            watchdog = PfcWatchdog(
+                net,
+                detection_time=0.02,
+                poll=0.005,
+                rearm_base=rearm_base,
+                rearm_max=0.5,
+            )
+            watchdog.install()
+            net.run(0.5)
+            return watchdog
+
+        naive = flapping_run(0.0)
+        backed_off = flapping_run(0.15)
+        assert naive.storms >= 2  # the scenario actually re-triggers
+        assert backed_off.storms < naive.storms
+        assert backed_off.storms >= 1
+        assert backed_off.total_dropped < naive.total_dropped

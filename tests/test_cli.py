@@ -195,3 +195,72 @@ class TestErrors:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_missing_plan_file_exits_1_without_traceback(self, capsys):
+        code = main(["verify", "/nonexistent/plan.json"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_malformed_plan_json_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        assert main(["lint", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDeploy:
+    """Exit-code contract: 0 converged, 2 degraded, 3 rolled back,
+    1 refused/failed/usage — consistent with every other subcommand."""
+
+    BASE = ["deploy", "--delta", "down:L1:S1"]
+
+    def test_fault_free_rollout_exits_0(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "outcome: converged" in out
+        assert "lint OK" in out
+
+    def test_degraded_rollout_exits_2(self, capsys):
+        assert main(self.BASE + ["--stuck", "L1"]) == 2
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_rolled_back_rollout_exits_3(self, capsys):
+        code = main(
+            self.BASE
+            + ["--faults", "L1:timeout,timeout", "--max-attempts", "1",
+               "--no-quarantine"]
+        )
+        assert code == 3
+        assert "outcome: rolled-back" in capsys.readouterr().out
+
+    def test_failed_rollout_exits_1(self, capsys):
+        code = main(self.BASE + ["--stuck", "L1", "--no-quarantine"])
+        assert code == 1
+        assert "outcome: failed" in capsys.readouterr().out
+
+    def test_missing_delta_is_usage_error(self, capsys):
+        assert main(["deploy"]) == 1
+        assert "--delta" in capsys.readouterr().err
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(self.BASE + ["--faults", "L1:gremlins"]) == 1
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_report_json_written(self, tmp_path, capsys):
+        report_file = tmp_path / "rollout.json"
+        assert main(self.BASE + ["--report", str(report_file)]) == 0
+        blob = json.loads(report_file.read_text())
+        assert blob["outcome"] == "converged"
+        assert blob["certificate"]["ok"] is True
+
+    def test_chaos_sweep_exits_0(self, capsys):
+        code = main(
+            self.BASE
+            + ["--chaos", "25", "--fault-rate", "0.4", "--stuck-prob", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep: 25 run(s)" in out
+        assert "certified plan" in out

@@ -9,6 +9,12 @@ from repro.topology import (
     fail_links,
     testbed_clos,
 )
+from repro.topology.failures import (
+    TopologyDelta,
+    apply_delta,
+    random_delta_sequence,
+    switch_links,
+)
 
 
 class TestFailureSchedule:
@@ -80,3 +86,36 @@ def test_fail_links_helper(testbed):
     fail_links(testbed, [("L1", "T1"), ("L3", "T4")])
     assert testbed.is_failed("T1", "L1")
     assert testbed.is_failed("T4", "L3")
+
+
+class TestDeltaEdgeCases:
+    def test_drain_already_drained_switch_is_idempotent(self, testbed):
+        first = apply_delta(testbed, TopologyDelta.drain("L1"))
+        before = set(testbed.failed_links)
+        second = apply_delta(testbed, TopologyDelta.drain("L1"))
+        # The full footprint is reported both times (callers key dirty
+        # sets off it) but the topology state does not change again.
+        assert second == first
+        assert set(testbed.failed_links) == before
+        testbed.restore_all()
+
+    def test_restore_never_failed_link_is_a_noop(self, testbed):
+        assert testbed.failed_links == set()
+        touched = apply_delta(testbed, TopologyDelta.link_up("L1", "S1"))
+        assert touched == [("L1", "S1")]
+        assert testbed.failed_links == set()
+
+    def test_undrain_never_drained_switch_is_a_noop(self, testbed):
+        assert testbed.failed_links == set()
+        touched = apply_delta(testbed, TopologyDelta.undrain("L1"))
+        assert len(touched) == len(switch_links(testbed, "L1"))
+        assert testbed.failed_links == set()
+
+    def test_empty_random_delta_sequence(self, testbed):
+        assert random_delta_sequence(testbed, length=0, seed=1) == []
+
+    def test_random_delta_sequence_is_seeded(self, testbed):
+        a = random_delta_sequence(testbed, length=12, seed=3)
+        b = random_delta_sequence(testbed, length=12, seed=3)
+        assert [d.describe() for d in a] == [d.describe() for d in b]
+        assert len(a) == 12
