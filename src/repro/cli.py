@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
     from repro.lint import LintReport
+    from repro.obs import Telemetry
     from repro.topology import TopologyDelta
 
 from repro.core import (
@@ -256,6 +257,54 @@ def _format_timings(timings: Dict[str, float]) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# Telemetry plumbing (shared by demo / replan / deploy / fuzz)
+# ----------------------------------------------------------------------
+def _make_telemetry(args: argparse.Namespace) -> Optional["Telemetry"]:
+    """A capture-everything Telemetry when ``--telemetry`` is given."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry(capacity=1_000_000)
+
+
+def _export_telemetry(
+    args: argparse.Namespace, telemetry: Optional["Telemetry"]
+) -> None:
+    if telemetry is None:
+        return
+    lines = telemetry.export_jsonl(args.telemetry)
+    evicted = telemetry.bus.evicted
+    suffix = f" ({evicted} evicted)" if evicted else ""
+    print(f"telemetry: {lines} event(s) written to {args.telemetry}{suffix}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Validate + summarize a telemetry JSONL stream.
+
+    Schema violations (unknown kinds, missing fields, non-scalar values)
+    exit 1 with a ``file:line`` diagnostic — this is the machine check
+    CI's telemetry smoke step runs on captured streams.
+    """
+    from repro.obs import aggregate_jsonl, registry_from_aggregate
+
+    aggregate = aggregate_jsonl(args.telemetry_file)
+    if args.format == "json":
+        print(json.dumps(aggregate, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        registry = registry_from_aggregate(aggregate)
+        print(registry.render_prometheus(), end="")
+    else:
+        print(f"{args.telemetry_file}: {aggregate['events']} event(s)")
+        for kind, count in aggregate["by_kind"].items():
+            print(f"  {kind:24s} {count}")
+        if aggregate["first_ts"] is not None:
+            span = aggregate["last_ts"] - aggregate["first_ts"]
+            print(f"  timestamp span: {span:.6f}s")
+    return EXIT_OK
+
+
 def cmd_replan(args: argparse.Namespace) -> int:
     """Incremental re-planning: apply topology deltas to a warm plan.
 
@@ -281,7 +330,10 @@ def cmd_replan(args: argparse.Namespace) -> int:
         else ShortestPathElpProvider()
     )
     deltas = [_parse_delta(spec) for spec in (args.delta or [])]
-    planner = IncrementalPlanner(topo, provider, minimize=args.minimize)
+    telemetry = _make_telemetry(args)
+    planner = IncrementalPlanner(
+        topo, provider, minimize=args.minimize, telemetry=telemetry
+    )
     print(f"fabric: {topo}")
     print(f"initial build: {planner.plan.summary()}")
     print(f"  {_format_timings(planner.initial_timings)}")
@@ -321,9 +373,12 @@ def cmd_replan(args: argparse.Namespace) -> int:
         blob = plan_to_dict(args, planner.plan)
         blob["deltas"] = [delta.describe() for delta in deltas]
         blob["failed_links"] = sorted(topo.failed_links)
+        if telemetry is not None:
+            blob["telemetry"] = telemetry.snapshot()
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(blob, handle, indent=2, sort_keys=True)
         print(f"exported rules for {len(blob['rules'])} switches to {args.out}")
+    _export_telemetry(args, telemetry)
     return EXIT_OK
 
 
@@ -334,12 +389,15 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
     topo = testbed_clos()
     table = shortest_path_tables(topo)
+    telemetry = _make_telemetry(args)
     if args.tagger:
         plan = TaggerPlan.for_clos(topo, max_bounces=1)
-        net = SimNetwork.with_plan(topo, table, plan, metrics_bucket=0.02)
+        net = SimNetwork.with_plan(
+            topo, table, plan, metrics_bucket=0.02, telemetry=telemetry
+        )
         print("running WITH Tagger (2 lossless priorities)")
     else:
-        net = SimNetwork(topo, table, metrics_bucket=0.02)
+        net = SimNetwork(topo, table, metrics_bucket=0.02, telemetry=telemetry)
         print("running WITHOUT Tagger (plain PFC)")
 
     if args.scenario == "fig10":
@@ -377,6 +435,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
     s2 = net.metrics.rate_series(f2.flow_id, 0, args.duration)
     for (t, r1), (_, r2) in zip(s1, s2):
         print(f"{t:7.2f}  {r1 / 1e6:11.1f}  {r2 / 1e6:11.1f}")
+    if telemetry is not None:
+        from repro.obs import sample_queue_gauges
+
+        sample_queue_gauges(telemetry.registry, net)
+    _export_telemetry(args, telemetry)
     cycle = find_deadlock_cycle(net)
     if cycle:
         print(f"DEADLOCK across {sorted({n[0] for n in cycle})}")
@@ -398,16 +461,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus_dir if args.shrink else None,
         strict_oracle=args.strict_oracle,
     )
-    report = run_fuzz(config)
+    telemetry = _make_telemetry(args)
+    report = run_fuzz(config, telemetry=telemetry)
     print(report.summary())
     for violation in report.violations:
         print(f"  [{violation['scenario_id']}] {violation['detail']}")
     for entry in report.corpus_entries:
         print(f"  shrunk counterexample written: {entry.path}")
     if args.report:
+        blob = report.to_dict()
+        if telemetry is not None:
+            blob["telemetry"] = telemetry.snapshot()
         with open(args.report, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            json.dump(blob, handle, indent=2, sort_keys=True)
         print(f"report written to {args.report}")
+    _export_telemetry(args, telemetry)
     if args.inject_fault:
         if report.fault_caught:
             print(f"injected fault {args.inject_fault!r} was caught")
@@ -519,11 +587,14 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     print(f"fabric: {topo}")
     print(f"transition: {len(diffs)} switch(es) to update")
 
+    telemetry = _make_telemetry(args)
     if args.chaos:
         start = time.perf_counter()
         outcomes: Dict[str, int] = {}
         unsafe = 0
         runs = 0
+        total_retries = 0
+        total_rollbacks = 0
         for index in range(args.chaos):
             if (
                 args.time_budget is not None
@@ -540,8 +611,16 @@ def cmd_deploy(args: argparse.Namespace) -> int:
                 rate=args.fault_rate,
                 stuck_prob=args.stuck_prob,
             )
-            report = run_rollout(topo, old, new, config=config, faults=faults)
+            # One shared telemetry across the sweep: the JSONL stream's
+            # deploy.retry / deploy.rollback counts must reconcile with
+            # the summed per-run report counters.
+            report = run_rollout(
+                topo, old, new, config=config, faults=faults,
+                telemetry=telemetry,
+            )
             runs += 1
+            total_retries += report.retries
+            total_rollbacks += report.rollbacks
             outcomes[report.outcome] = outcomes.get(report.outcome, 0) + 1
             if not (report.ok and report.final_lint_ok):
                 unsafe += 1
@@ -556,24 +635,25 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         )
         print(f"chaos sweep: {runs} run(s) in {elapsed:.1f}s — {summary}")
         if args.report:
+            chaos_blob: Dict[str, Any] = {
+                "mode": "chaos",
+                "runs": runs,
+                "requested": args.chaos,
+                "seed": args.seed,
+                "fault_rate": args.fault_rate,
+                "stuck_prob": args.stuck_prob,
+                "outcomes": outcomes,
+                "unsafe": unsafe,
+                "retries": total_retries,
+                "rollbacks": total_rollbacks,
+                "elapsed_seconds": round(elapsed, 3),
+            }
+            if telemetry is not None:
+                chaos_blob["telemetry"] = telemetry.snapshot()
             with open(args.report, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {
-                        "mode": "chaos",
-                        "runs": runs,
-                        "requested": args.chaos,
-                        "seed": args.seed,
-                        "fault_rate": args.fault_rate,
-                        "stuck_prob": args.stuck_prob,
-                        "outcomes": outcomes,
-                        "unsafe": unsafe,
-                        "elapsed_seconds": round(elapsed, 3),
-                    },
-                    handle,
-                    indent=2,
-                    sort_keys=True,
-                )
+                json.dump(chaos_blob, handle, indent=2, sort_keys=True)
             print(f"report written to {args.report}")
+        _export_telemetry(args, telemetry)
         if unsafe:
             print(f"ERROR: {unsafe} unsafe run(s)", file=sys.stderr)
             return EXIT_ERROR
@@ -593,13 +673,19 @@ def cmd_deploy(args: argparse.Namespace) -> int:
             stuck_prob=args.stuck_prob,
         )
     print(f"faults: {faults.describe()}")
-    report = run_rollout(topo, old, new, config=config, faults=faults)
+    report = run_rollout(
+        topo, old, new, config=config, faults=faults, telemetry=telemetry
+    )
     print(report.describe())
     print(f"  {_format_timings(report.timings)}")
     if args.report:
+        blob = report.to_dict()
+        if telemetry is not None:
+            blob["telemetry"] = telemetry.snapshot()
         with open(args.report, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            json.dump(blob, handle, indent=2, sort_keys=True)
         print(f"report written to {args.report}")
+    _export_telemetry(args, telemetry)
     return _deploy_exit_code(report.outcome)
 
 
@@ -612,6 +698,16 @@ def make_parser() -> argparse.ArgumentParser:
         description="Plan, verify and demo Tagger PFC-deadlock prevention.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--telemetry",
+            type=str,
+            default=None,
+            metavar="OUT.JSONL",
+            help="capture structured telemetry events and write the "
+            "stream as JSONL (inspect with `repro-tagger stats`)",
+        )
 
     plan = sub.add_parser("plan", help="compute and export a Tagger plan")
     plan.add_argument("--topology", choices=("clos", "jellyfish"), default="clos")
@@ -698,12 +794,14 @@ def make_parser() -> argparse.ArgumentParser:
         "rule tables",
     )
     replan.add_argument("--out", type=str, default=None)
+    add_telemetry_arg(replan)
     replan.set_defaults(func=cmd_replan)
 
     demo = sub.add_parser("demo", help="run a deadlock scenario")
     demo.add_argument("scenario", choices=("fig10", "fig11"))
     demo.add_argument("--tagger", action="store_true")
     demo.add_argument("--duration", type=float, default=0.3)
+    add_telemetry_arg(demo)
     demo.set_defaults(func=cmd_demo)
 
     fuzz = sub.add_parser(
@@ -749,6 +847,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="treat a non-deadlocking untagged control run as a violation",
     )
     fuzz.add_argument("--report", type=str, default=None)
+    add_telemetry_arg(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 
     deploy = sub.add_parser(
@@ -827,7 +926,21 @@ def make_parser() -> argparse.ArgumentParser:
         help="roll back instead of quarantining stuck switches",
     )
     deploy.add_argument("--report", type=str, default=None)
+    add_telemetry_arg(deploy)
     deploy.set_defaults(func=cmd_deploy)
+
+    stats = sub.add_parser(
+        "stats",
+        help="validate and summarize a captured telemetry JSONL stream",
+    )
+    stats.add_argument("telemetry_file")
+    stats.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="text summary, JSON aggregate, or Prometheus text exposition",
+    )
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -63,6 +63,9 @@ from repro.core.rules import (
 from repro.core.tags import INITIAL_TAG, TaggedGraph, TEdge, TNode, ingress_hops
 from repro.core.verification import assert_deadlock_free
 from repro.exceptions import TaggingError
+from repro.obs.events import EV_REPLAN_APPLY
+from repro.obs.instrument import observe_plan, observe_timings
+from repro.obs.telemetry import Telemetry
 from repro.perf.timing import StageTimer
 from repro.routing.base import Path, is_loop_free, validate_path
 from repro.topology.base import Topology
@@ -255,6 +258,7 @@ class IncrementalPlanner:
         on_conflict: str = "max",
         memo_capacity: int = 8,
         extra_paths: Tuple[Path, ...] = (),
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if minimize not in ("deterministic", "paper", "off"):
             raise TaggingError(f"unknown minimize mode {minimize!r}")
@@ -264,6 +268,9 @@ class IncrementalPlanner:
         self.max_lossless_queues = max_lossless_queues
         self.on_conflict = on_conflict
         self.memo_capacity = memo_capacity
+        #: Optional observability hookup; a pure observer (never consulted
+        #: by the planning pipeline itself).
+        self.telemetry = telemetry
 
         self._pairs: Dict[Pair, Tuple[Path, ...]] = {}
         self._pair_links: Dict[Pair, FrozenSet[LinkKey]] = {}
@@ -296,6 +303,11 @@ class IncrementalPlanner:
         self._full_build(timer)
         #: Stage timings of the initial from-scratch build.
         self.initial_timings: Dict[str, float] = timer.timings()
+        if self.telemetry is not None:
+            observe_timings(
+                self.telemetry.registry, "planner-init", self.initial_timings
+            )
+            observe_plan(self.telemetry.registry, self.plan)
 
     # ------------------------------------------------------------------
     # Public surface
@@ -336,6 +348,35 @@ class IncrementalPlanner:
         recovers — and :class:`~repro.exceptions.CapacityError` when the
         new tag count exceeds the queue budget.
         """
+        result = self._apply(delta, force_full)
+        self._publish_result(result)
+        return result
+
+    def _publish_result(self, result: ReplanResult) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.emit(
+            EV_REPLAN_APPLY,
+            delta_kind=result.delta.kind,
+            mode=result.mode,
+            dirty_pairs=result.dirty_pairs,
+            changed_paths=result.changed_paths,
+        )
+        observe_timings(self.telemetry.registry, "replan", result.timings)
+        observe_plan(self.telemetry.registry, result.plan)
+        self.telemetry.registry.counter(
+            "replan_applies_total",
+            "Re-plan operations absorbed, by mode.",
+            labelnames=("mode",),
+        ).inc(mode=result.mode)
+        self.telemetry.registry.counter(
+            "replan_rule_touches_total",
+            "Rule add/remove operations shipped by re-plans.",
+        ).inc(result.total_rule_touches)
+
+    def _apply(
+        self, delta: TopologyDelta, force_full: bool = False
+    ) -> ReplanResult:
         timer = StageTimer()
         prev_tables = self._plan.tables if self._plan is not None else {}
         self._pending_nodes = []

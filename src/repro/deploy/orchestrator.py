@@ -61,6 +61,17 @@ from repro.deploy.verifier import (
 )
 from repro.exceptions import DeploymentError
 from repro.lint import lint_tables
+from repro.obs.events import (
+    EV_DEPLOY_BREAKER_CLOSE,
+    EV_DEPLOY_BREAKER_OPEN,
+    EV_DEPLOY_OUTCOME,
+    EV_DEPLOY_QUARANTINE,
+    EV_DEPLOY_RETRY,
+    EV_DEPLOY_ROLLBACK,
+    EV_DEPLOY_RPC,
+)
+from repro.obs.instrument import observe_timings
+from repro.obs.telemetry import Telemetry
 from repro.perf.timing import StageTimer
 from repro.topology.base import Topology
 
@@ -139,6 +150,13 @@ class RolloutReport:
     switch_outcomes: Dict[str, SwitchOutcome] = field(default_factory=dict)
     quarantined: List[str] = field(default_factory=list)
     rpc_count: int = 0
+    #: Batch re-sends: attempts beyond the first for any logical batch.
+    #: Counted at the exact point a ``deploy.retry`` telemetry event is
+    #: emitted, so stream and report reconcile by construction.
+    retries: int = 0
+    #: Fleet-wide rollback operations (0 or 1 per run); incremented at
+    #: the same point the ``deploy.rollback`` event is emitted.
+    rollbacks: int = 0
     epochs_used: int = 0
     virtual_time: float = 0.0
     final_lint_ok: bool = False
@@ -179,6 +197,8 @@ class RolloutReport:
             "waves": [list(w) for w in self.waves],
             "quarantined": list(self.quarantined),
             "rpc_count": self.rpc_count,
+            "retries": self.retries,
+            "rollbacks": self.rollbacks,
             "epochs_used": self.epochs_used,
             "virtual_time": self.virtual_time,
             "final_lint_ok": self.final_lint_ok,
@@ -231,6 +251,7 @@ class RolloutOrchestrator:
         faults: Optional[FaultPlan] = None,
         agents: Optional[Dict[str, SwitchAgent]] = None,
         network: Optional[ManagementNetwork] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.topo = topo
         self.old = old
@@ -251,6 +272,13 @@ class RolloutOrchestrator:
         self._epoch = 0
         self._batch_seq = 0
         self._breaker_fails: Dict[str, int] = {}
+        #: Pure observer; events are stamped with the virtual clock.
+        self.telemetry = telemetry
+        self._retries = 0
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, time=self._clock, **fields)
 
     # ------------------------------------------------------------------
     # Batch plumbing
@@ -267,10 +295,27 @@ class RolloutOrchestrator:
     def _breaker_is_open(self, switch: str) -> bool:
         return self._breaker_fails.get(switch, 0) >= self.config.breaker_threshold
 
+    def _count(self, name: str, help_text: str, **labels: object) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.registry.counter(
+            name, help_text, labelnames=tuple(sorted(labels))
+        ).inc(**labels)
+
     def _note_failure(self, switch: str) -> None:
-        self._breaker_fails[switch] = self._breaker_fails.get(switch, 0) + 1
+        failures = self._breaker_fails.get(switch, 0) + 1
+        self._breaker_fails[switch] = failures
+        if failures == self.config.breaker_threshold:
+            self._emit(EV_DEPLOY_BREAKER_OPEN, switch=switch, failures=failures)
+            self._count(
+                "deploy_breaker_opens_total",
+                "Circuit-breaker open transitions.",
+                switch=switch,
+            )
 
     def _note_success(self, switch: str) -> None:
+        if self._breaker_fails.get(switch, 0) >= self.config.breaker_threshold:
+            self._emit(EV_DEPLOY_BREAKER_CLOSE, switch=switch)
         self._breaker_fails[switch] = 0
 
     def _push_batch(
@@ -299,7 +344,24 @@ class RolloutOrchestrator:
                 outcome.detail = "circuit breaker open"
                 return False
             outcome.attempts += 1
+            if attempt > 1:
+                self._retries += 1
+                self._emit(EV_DEPLOY_RETRY, switch=switch, attempt=attempt)
+                self._count(
+                    "deploy_retries_total", "Batch re-send attempts."
+                )
             reply = self.network.send(batch)
+            self._emit(
+                EV_DEPLOY_RPC,
+                switch=switch,
+                status=reply.status,
+                attempt=attempt,
+            )
+            self._count(
+                "deploy_rpcs_total",
+                "Batch RPCs sent, by reply status.",
+                status=reply.status,
+            )
             if reply.acked:
                 self._note_success(switch)
                 return True
@@ -381,6 +443,11 @@ class RolloutOrchestrator:
             if wiped
             else "quarantined: unreachable, left on certified mixed state"
         )
+        self._emit(EV_DEPLOY_QUARANTINE, switch=switch, wiped=wiped)
+        self._count(
+            "deploy_quarantines_total",
+            "Switches demoted to safeguard-only mode.",
+        )
 
     def _rollback(self, report: RolloutReport) -> str:
         """Restore every touched switch to the old plan; returns outcome.
@@ -395,6 +462,12 @@ class RolloutOrchestrator:
         whenever switches are not wedged forever.
         """
         self._epoch += 1
+        touched = sum(len(wave) for wave in report.waves)
+        report.rollbacks += 1
+        self._emit(EV_DEPLOY_ROLLBACK, switches=touched)
+        self._count(
+            "deploy_rollbacks_total", "Fleet-wide rollback operations."
+        )
         failures: List[str] = []
         for wave in report.waves:
             for switch in wave:
@@ -486,6 +559,8 @@ class RolloutOrchestrator:
             )
             report.timings = timer.timings()
             report.rpc_count = self.network.rpc_count
+            report.retries = self._retries
+            self._publish_outcome(report)
             return report
 
         if not waves:
@@ -590,8 +665,27 @@ class RolloutOrchestrator:
                 report.outcome = FAILED
                 report.detail = "final tables diverge from the expected plan"
         report.rpc_count = self.network.rpc_count
+        report.retries = self._retries
         report.virtual_time = self._clock
         report.timings = timer.timings()
+        self._publish_outcome(report)
+
+    def _publish_outcome(self, report: RolloutReport) -> None:
+        if self.telemetry is None:
+            return
+        self._emit(
+            EV_DEPLOY_OUTCOME, outcome=report.outcome, rpcs=report.rpc_count
+        )
+        self._count(
+            "deploy_outcomes_total",
+            "Terminal rollout outcomes.",
+            outcome=report.outcome,
+        )
+        self.telemetry.registry.gauge(
+            "deploy_virtual_time_seconds",
+            "Virtual seconds the last rollout consumed.",
+        ).set(report.virtual_time)
+        observe_timings(self.telemetry.registry, "deploy", report.timings)
 
     # ------------------------------------------------------------------
     def final_tables(self) -> Tables:
@@ -609,6 +703,9 @@ def run_rollout(
     new: Tables,
     config: Optional[RolloutConfig] = None,
     faults: Optional[FaultPlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RolloutReport:
     """One-shot convenience wrapper used by the CLI and the fuzz harness."""
-    return RolloutOrchestrator(topo, old, new, config=config, faults=faults).run()
+    return RolloutOrchestrator(
+        topo, old, new, config=config, faults=faults, telemetry=telemetry
+    ).run()

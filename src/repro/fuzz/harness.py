@@ -25,6 +25,8 @@ from repro.fuzz.faults import check_fault_name
 from repro.fuzz.oracle import run_oracle
 from repro.fuzz.scenarios import Scenario, ScenarioGenerator
 from repro.fuzz.shrink import shrink_scenario
+from repro.obs.events import EV_FUZZ_SCENARIO, EV_FUZZ_VIOLATION
+from repro.obs.telemetry import Telemetry
 
 #: Oracle invariants (layered on top of the cross-check table).
 ORACLE_TAGGED_DEADLOCK = "oracle-tagged-deadlock"
@@ -70,6 +72,36 @@ class FuzzReport:
     oracle_misses: List[str] = field(default_factory=list)
     corpus_entries: List[CorpusEntry] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Optional observability hookup (pure observer; not serialized).
+    #: Every recorded violation also becomes a ``fuzz.violation`` event
+    #: plus a per-invariant counter via :meth:`note_violation`, the one
+    #: choke point all violation appends go through.
+    telemetry: Optional[Telemetry] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def note_violation(
+        self, scenario_id: str, invariant: str, detail: str, now: float = 0.0
+    ) -> None:
+        self.violations.append(
+            {
+                "scenario_id": scenario_id,
+                "invariant": invariant,
+                "detail": detail,
+            }
+        )
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EV_FUZZ_VIOLATION,
+                time=now,
+                scenario=scenario_id,
+                invariant=invariant,
+            )
+            self.telemetry.registry.counter(
+                "fuzz_violations_total",
+                "Invariant violations found, by invariant.",
+                labelnames=("invariant",),
+            ).inc(invariant=invariant)
 
     @property
     def ok(self) -> bool:
@@ -121,40 +153,49 @@ class FuzzReport:
 _CHECKS_PER_SCENARIO = 16
 
 
-def run_fuzz(config: FuzzConfig) -> FuzzReport:
+def run_fuzz(
+    config: FuzzConfig, telemetry: Optional[Telemetry] = None
+) -> FuzzReport:
     """Run the full differential fuzzing loop."""
     started = time.monotonic()
-    report = FuzzReport(config=config)
+    report = FuzzReport(config=config, telemetry=telemetry)
     generator = ScenarioGenerator(config.seed)
     oracle_left = config.oracle_budget
 
     for iteration in range(config.iterations):
-        if (
-            config.time_budget is not None
-            and time.monotonic() - started > config.time_budget
-        ):
+        elapsed = time.monotonic() - started
+        if config.time_budget is not None and elapsed > config.time_budget:
             break
         scenario = next(generator)
         report.iterations_run += 1
         report.scenarios_by_kind[scenario.kind] = (
             report.scenarios_by_kind.get(scenario.kind, 0) + 1
         )
+        if telemetry is not None:
+            telemetry.emit(
+                EV_FUZZ_SCENARIO,
+                time=elapsed,
+                scenario=scenario.scenario_id,
+                scenario_kind=scenario.kind,
+            )
+            telemetry.registry.counter(
+                "fuzz_scenarios_total",
+                "Scenarios generated, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=scenario.kind)
 
         try:
             result = cross_check(scenario, fault=config.inject_fault)
         except ReproError as exc:
-            report.violations.append(
-                {
-                    "scenario_id": scenario.scenario_id,
-                    "invariant": "harness-error",
-                    "detail": str(exc),
-                }
+            report.note_violation(
+                scenario.scenario_id, "harness-error", str(exc), now=elapsed
             )
             continue
         report.invariant_checks += _CHECKS_PER_SCENARIO
         if not result.ok:
             _record_failure(report, scenario, result.invariants_violated(),
-                            [str(v) for v in result.violations], iteration)
+                            [str(v) for v in result.violations], iteration,
+                            now=elapsed)
             continue  # don't feed a statically-broken scenario to the oracle
 
         if oracle_left > 0:
@@ -171,13 +212,12 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 else:
                     report.oracle_misses.append(scenario.scenario_id)
                     if config.strict_oracle:
-                        report.violations.append(
-                            {
-                                "scenario_id": scenario.scenario_id,
-                                "invariant": ORACLE_INSENSITIVE,
-                                "detail": "untagged control run with a CBD "
-                                "path pair did not deadlock",
-                            }
+                        report.note_violation(
+                            scenario.scenario_id,
+                            ORACLE_INSENSITIVE,
+                            "untagged control run with a CBD path pair "
+                            "did not deadlock",
+                            now=elapsed,
                         )
                 if outcome.tagged_deadlocked:
                     _record_failure(
@@ -192,9 +232,18 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         ],
                         iteration,
                         shrinkable=False,
+                        now=elapsed,
                     )
 
     report.elapsed_seconds = time.monotonic() - started
+    if telemetry is not None:
+        telemetry.registry.counter(
+            "fuzz_invariant_checks_total",
+            "Static invariant evaluations performed.",
+        ).inc(report.invariant_checks)
+        telemetry.registry.gauge(
+            "fuzz_elapsed_seconds", "Wall seconds the last fuzz run took."
+        ).set(report.elapsed_seconds)
     return report
 
 
@@ -205,15 +254,12 @@ def _record_failure(
     details: List[str],
     iteration: int,
     shrinkable: bool = True,
+    now: float = 0.0,
 ) -> None:
     config = report.config
     for detail in details:
-        report.violations.append(
-            {
-                "scenario_id": scenario.scenario_id,
-                "invariant": detail.split(":", 1)[0],
-                "detail": detail,
-            }
+        report.note_violation(
+            scenario.scenario_id, detail.split(":", 1)[0], detail, now=now
         )
     if not (config.shrink and shrinkable and config.corpus_dir):
         return

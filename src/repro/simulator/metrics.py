@@ -10,9 +10,20 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.obs.events import (
+    EV_SIM_DELIVER,
+    EV_SIM_DEMOTE,
+    EV_SIM_DROP,
+    EV_SIM_INJECT,
+)
+from repro.obs.instrument import sim_metric_handles
 from repro.simulator.pfc import PfcLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
+
 
 @dataclass(frozen=True)
 class LatencyStats:
@@ -25,10 +36,19 @@ class LatencyStats:
     maximum: float
 
 
-def _percentile(ordered: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of a pre-sorted sample."""
+def _percentile(
+    ordered: List[float], fraction: float, name: str = "sample"
+) -> float:
+    """Nearest-rank percentile of a pre-sorted sample.
+
+    ``name`` identifies the metric in the error raised on an empty
+    sample, so callers see *which* series had no data instead of a bare
+    "empty sample".
+    """
     if not ordered:
-        raise ValueError("empty sample")
+        raise ValueError(
+            f"cannot compute percentile of metric {name!r}: empty sample"
+        )
     rank = max(0, math.ceil(fraction * len(ordered)) - 1)
     return ordered[rank]
 
@@ -58,12 +78,40 @@ class MetricsRecorder:
     _latencies: Dict[int, List[float]] = field(
         default_factory=lambda: defaultdict(list)
     )  # flow -> per-packet one-way delays (seconds)
+    demotions: Counter = field(default_factory=Counter)  # switch -> count
+    #: Optional telemetry hookup (see :meth:`attach_telemetry`): when
+    #: set, every recorded fact is also published as a structured event
+    #: plus a registry counter — same call, same data, so the bus view
+    #: reconciles exactly with these counters by construction.
+    telemetry: Optional["Telemetry"] = field(default=None, repr=False)
+    _handles: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Telemetry hookup
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Publish every future recording onto ``telemetry`` as well.
+
+        Pure observer: attaching never alters what the recorder itself
+        accumulates. Metric handles are cached here so the per-packet
+        path performs no registry lookups.
+        """
+        self.telemetry = telemetry
+        if telemetry is None:
+            self._handles = {}
+            self.pfc.attach_telemetry(None, None)
+            return
+        self._handles = sim_metric_handles(telemetry.registry)
+        self.pfc.attach_telemetry(telemetry, self._handles["pfc"])
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_injection(self, flow_id: int) -> None:
         self.injected_packets[flow_id] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(EV_SIM_INJECT, flow=flow_id)
+            self._handles["injected"].inc()
 
     def record_delivery(
         self,
@@ -79,11 +127,37 @@ class MetricsRecorder:
         flow_buckets[bucket] = flow_buckets.get(bucket, 0) + size
         if created_at is not None:
             self._latencies[flow_id].append(time - created_at)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EV_SIM_DELIVER, time=time, flow=flow_id, size=size
+            )
+            self._handles["delivered"].inc()
+            self._handles["delivered_bytes"].inc(size)
 
     def record_drop(self, reason: str, flow_id: Optional[int] = None) -> None:
         self.drops[reason] += 1
         if flow_id is not None:
             self.drops_per_flow[flow_id] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(EV_SIM_DROP, reason=reason, flow=flow_id)
+            self._handles["dropped"].inc(reason=reason)
+
+    def record_demotion(
+        self, time: float, switch: str, old_tag: int, new_tag: int,
+        flow_id: Optional[int] = None,
+    ) -> None:
+        """A rewrite changed a packet's tag (Tagger demotion/promotion)."""
+        self.demotions[switch] += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EV_SIM_DEMOTE,
+                time=time,
+                switch=switch,
+                old_tag=old_tag,
+                new_tag=new_tag,
+                flow=flow_id,
+            )
+            self._handles["demotions"].inc(switch=switch)
 
     # ------------------------------------------------------------------
     # Queries
@@ -130,8 +204,8 @@ class MetricsRecorder:
         return LatencyStats(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),
-            p50=_percentile(ordered, 0.50),
-            p99=_percentile(ordered, 0.99),
+            p50=_percentile(ordered, 0.50, name=f"latency[flow={flow_id}]"),
+            p99=_percentile(ordered, 0.99, name=f"latency[flow={flow_id}]"),
             maximum=ordered[-1],
         )
 

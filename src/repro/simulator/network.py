@@ -17,7 +17,7 @@ priority (the paper's "without Tagger" baseline).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.core.pipeline import PipelineConfig, QueueMap
 from repro.core.planner import TaggerPlan
@@ -32,6 +32,9 @@ from repro.simulator.packet import SimConfig
 from repro.simulator.switch import SimSwitch
 from repro.simulator.txport import TxPort
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
 
 
 def passthrough_pipeline(num_lossless_tags: int = 1) -> PipelineConfig:
@@ -60,6 +63,7 @@ class SimNetwork:
         config: SimConfig = SimConfig(),
         host_queue_map: Optional[QueueMap] = None,
         metrics_bucket: float = 0.001,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.topo = topo
         self.table = table
@@ -67,6 +71,11 @@ class SimNetwork:
         self.sim = Simulator()
         self.rng = random.Random(config.seed)
         self.metrics = MetricsRecorder(bucket_width=metrics_bucket)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # Events from this fabric are stamped with simulated time.
+            telemetry.bind_clock(lambda: self.sim.now)
+            self.metrics.attach_telemetry(telemetry)
         default_pipeline = passthrough_pipeline()
         self._pipelines = pipelines or {}
         self.host_queue_map = host_queue_map or default_pipeline.queue_map
@@ -94,6 +103,7 @@ class SimNetwork:
         config: SimConfig = SimConfig(),
         decouple_egress: bool = True,
         metrics_bucket: float = 0.001,
+        telemetry: Optional["Telemetry"] = None,
     ) -> "SimNetwork":
         """Build a fabric running a :class:`TaggerPlan` on every switch."""
         pipelines = {
@@ -107,6 +117,7 @@ class SimNetwork:
             config=config,
             host_queue_map=plan.queue_map,
             metrics_bucket=metrics_bucket,
+            telemetry=telemetry,
         )
 
     def _wire_ports(self) -> None:

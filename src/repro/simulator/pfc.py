@@ -16,9 +16,14 @@ independently. Queue 0 (lossy) never participates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import LOSSY_QUEUE
+from repro.obs.events import EV_SIM_PAUSE, EV_SIM_RESUME
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import Counter as MetricCounter
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass
@@ -57,11 +62,38 @@ class PfcLog:
     """Accumulates PFC frames; queryable per link and per queue."""
 
     events: List[PfcEvent] = field(default_factory=list)
+    telemetry: Optional["Telemetry"] = field(default=None, repr=False)
+    _frames: Optional["MetricCounter"] = field(default=None, repr=False)
+
+    def attach_telemetry(
+        self,
+        telemetry: Optional["Telemetry"],
+        frames: Optional["MetricCounter"],
+    ) -> None:
+        """Mirror every future frame onto the bus/registry (pure observer).
+
+        ``record`` is the single choke point all PFC frames pass through
+        (``SimNetwork.send_pfc`` routes here), which is what makes the
+        bus-side pause/resume counts reconcile exactly with
+        :attr:`pause_count`/:attr:`resume_count`.
+        """
+        self.telemetry = telemetry
+        self._frames = frames
 
     def record(
         self, time: float, sender: str, receiver: str, queue: int, pause: bool
     ) -> None:
         self.events.append(PfcEvent(time, sender, receiver, queue, pause))
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EV_SIM_PAUSE if pause else EV_SIM_RESUME,
+                time=time,
+                sender=sender,
+                receiver=receiver,
+                queue=queue,
+            )
+            if self._frames is not None:
+                self._frames.inc(kind="pause" if pause else "resume")
 
     @property
     def pause_count(self) -> int:

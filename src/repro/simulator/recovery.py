@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple, TYPE_CHECKING
 
+from repro.obs.events import EV_SIM_DEADLOCK
 from repro.simulator.deadlock import WaitNode, find_deadlock_cycle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -76,6 +77,17 @@ class DeadlockBreaker:
                     packets_dropped=dropped,
                 )
             )
+            telemetry = self.net.metrics.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    EV_SIM_DEADLOCK,
+                    time=self.net.sim.now,
+                    switch=victim[0],
+                    port=victim[1],
+                    queue=victim[2],
+                    dropped=dropped,
+                )
+                self.net.metrics._handles["deadlocks"].inc()
         self.net.sim.schedule(self.period, self._tick)
 
     def _drain(self, victim: WaitNode) -> int:

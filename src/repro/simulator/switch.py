@@ -92,6 +92,14 @@ class SimSwitch:
             new_tag = old_tag
         else:
             new_tag = self.pipeline.rewrite(old_tag, in_port, out_port)
+            if new_tag != old_tag:
+                metrics.record_demotion(
+                    self.net.sim.now,
+                    self.name,
+                    old_tag,
+                    new_tag,
+                    packet.flow_id,
+                )
         egress_queue = self.pipeline.classify_egress(old_tag, new_tag)
         packet.tag = new_tag
         packet.in_port = in_port

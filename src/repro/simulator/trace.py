@@ -15,20 +15,26 @@ construction and are pure observers.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.obs.bus import TelemetryBus
+from repro.obs.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulator.network import SimNetwork
 
-#: Event kinds a tracer records.
+#: Event kinds a tracer records. These are the short names the query API
+#: speaks; on the bus they are namespaced as ``trace.<kind>`` (see
+#: ``repro.obs.events``).
 EV_RECEIVE = "receive"
 EV_FORWARD = "forward"
 EV_DELIVER = "deliver"
 EV_DROP = "drop"
 EV_PAUSE = "pause"
 EV_RESUME = "resume"
+
+_TRACE_PREFIX = "trace."
 
 
 @dataclass(frozen=True)
@@ -44,19 +50,45 @@ class TraceEvent:
     detail: str = ""
 
 
-@dataclass
+def _from_bus_event(event: Event) -> TraceEvent:
+    fields = event.fields
+    return TraceEvent(
+        time=event.time,
+        kind=event.kind[len(_TRACE_PREFIX):],
+        node=fields["node"],
+        flow_id=fields.get("flow"),
+        packet_id=fields.get("packet"),
+        tag=fields.get("tag"),
+        detail=fields.get("detail", ""),
+    )
+
+
 class PacketTracer:
-    """Bounded event log with optional flow/node filters.
+    """Bounded per-hop event log with optional flow/node filters.
+
+    Sits on a :class:`~repro.obs.bus.TelemetryBus`: every trace is a
+    structured ``trace.*`` event, so the same stream the query API reads
+    (:meth:`of_kind`, :meth:`packet_journey`) can be exported as JSONL
+    alongside the rest of the telemetry. Pass an existing ``bus`` to
+    interleave traces with the fabric's other events; by default each
+    tracer gets a private ring sized by ``capacity`` (oldest events are
+    evicted).
 
     Attach with :meth:`attach`; afterwards the network calls
-    :meth:`record` on every observable event. ``capacity`` bounds memory
-    (oldest events are evicted).
+    :meth:`record` on every observable event.
     """
 
-    capacity: int = 10_000
-    flows: Optional[Sequence[int]] = None
-    nodes: Optional[Sequence[str]] = None
-    events: Deque[TraceEvent] = field(default_factory=deque)
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        flows: Optional[Sequence[int]] = None,
+        nodes: Optional[Sequence[str]] = None,
+        bus: Optional[TelemetryBus] = None,
+    ) -> None:
+        self.capacity = capacity
+        self.flows = flows
+        self.nodes = nodes
+        self.bus = bus if bus is not None else TelemetryBus(capacity=capacity)
 
     def attach(self, net: "SimNetwork") -> "PacketTracer":
         net.tracer = self
@@ -76,11 +108,24 @@ class PacketTracer:
             return
         if self.nodes is not None and node not in self.nodes:
             return
-        self.events.append(
-            TraceEvent(time, kind, node, flow_id, packet_id, tag, detail)
+        self.bus.emit(
+            time,
+            _TRACE_PREFIX + kind,
+            node=node,
+            flow=flow_id,
+            packet=packet_id,
+            tag=tag,
+            detail=detail,
         )
-        while len(self.events) > self.capacity:
-            self.events.popleft()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered trace, oldest first."""
+        return [
+            _from_bus_event(event)
+            for event in self.bus.events()
+            if event.kind.startswith(_TRACE_PREFIX)
+        ]
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -121,6 +166,31 @@ class QueueSampler:
     _resolved: List[Tuple[str, int, int]] = field(default_factory=list)
     _installed: bool = False
 
+    def _publish_gauges(self, sample: QueueSample) -> None:
+        telemetry = self.net.metrics.telemetry
+        if telemetry is None:
+            return
+        telemetry.registry.gauge(
+            "sim_queue_depth_bytes",
+            "Egress bytes queued per (switch, port, queue).",
+            labelnames=("switch", "port", "queue"),
+        ).set(
+            sample.egress_bytes,
+            switch=sample.switch,
+            port=sample.port,
+            queue=sample.queue,
+        )
+        telemetry.registry.gauge(
+            "sim_ingress_account_bytes",
+            "Ingress PFC account bytes per (switch, port, queue).",
+            labelnames=("switch", "port", "queue"),
+        ).set(
+            sample.ingress_bytes,
+            switch=sample.switch,
+            port=sample.port,
+            queue=sample.queue,
+        )
+
     def install(self) -> None:
         if self._installed:
             return
@@ -138,17 +208,17 @@ class QueueSampler:
         for switch_name, port, queue in self._resolved:
             switch = self.net.switches[switch_name]
             tx = switch.tx_ports.get(port)
-            self.samples.append(
-                QueueSample(
-                    time=now,
-                    switch=switch_name,
-                    port=port,
-                    queue=queue,
-                    ingress_bytes=switch.accounting.occupancy_of(port, queue),
-                    egress_bytes=tx.bytes_queued(queue) if tx else 0,
-                    paused=bool(tx and tx.pause.is_paused(queue)),
-                )
+            sample = QueueSample(
+                time=now,
+                switch=switch_name,
+                port=port,
+                queue=queue,
+                ingress_bytes=switch.accounting.occupancy_of(port, queue),
+                egress_bytes=tx.bytes_queued(queue) if tx else 0,
+                paused=bool(tx and tx.pause.is_paused(queue)),
             )
+            self.samples.append(sample)
+            self._publish_gauges(sample)
         self.net.sim.schedule(self.period, self._tick)
 
     def series(

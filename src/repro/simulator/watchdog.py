@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple, TYPE_CHECKING
 
 from repro.core.pipeline import LOSSY_QUEUE
+from repro.obs.events import EV_SIM_WATCHDOG
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulator.network import SimNetwork
@@ -126,6 +127,17 @@ class PfcWatchdog:
                                 packets_dropped=dropped,
                             )
                         )
+                        telemetry = self.net.metrics.telemetry
+                        if telemetry is not None:
+                            telemetry.emit(
+                                EV_SIM_WATCHDOG,
+                                time=now,
+                                switch=switch_name,
+                                port=port,
+                                queue=queue,
+                                dropped=dropped,
+                            )
+                            self.net.metrics._handles["watchdog"].inc()
         self.net.sim.schedule(self.poll, self._tick)
 
     def _discard(self, switch_name: str, tx, queue: int) -> int:

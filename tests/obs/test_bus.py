@@ -1,0 +1,121 @@
+"""Unit tests for the telemetry bus (ring buffer + lossless counts)."""
+
+import json
+
+import pytest
+
+from repro.obs import TelemetryBus, TelemetryError
+from repro.obs.events import EV_SIM_DROP, EV_SIM_INJECT, EV_SIM_PAUSE
+
+
+class TestEmit:
+    def test_emit_appends_and_counts(self):
+        bus = TelemetryBus()
+        event = bus.emit(0.5, EV_SIM_INJECT, flow=3)
+        assert event.time == 0.5
+        assert event.kind == EV_SIM_INJECT
+        assert event.fields["flow"] == 3
+        assert len(bus) == 1
+        assert bus.total_emitted == 1
+        assert bus.count(EV_SIM_INJECT) == 1
+        assert bus.count(EV_SIM_DROP) == 0
+
+    def test_events_filter_by_kind(self):
+        bus = TelemetryBus()
+        bus.emit(0.0, EV_SIM_INJECT, flow=1)
+        bus.emit(0.1, EV_SIM_DROP, reason="ttl")
+        bus.emit(0.2, EV_SIM_INJECT, flow=2)
+        assert [e.fields["flow"] for e in bus.events(EV_SIM_INJECT)] == [1, 2]
+        assert len(bus.events()) == 3
+        assert [e.kind for e in bus] == [
+            EV_SIM_INJECT, EV_SIM_DROP, EV_SIM_INJECT
+        ]
+
+    def test_subscriber_sees_every_emit(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(0.0, EV_SIM_INJECT, flow=1)
+        bus.emit(0.1, EV_SIM_DROP, reason="ttl")
+        assert [e.kind for e in seen] == [EV_SIM_INJECT, EV_SIM_DROP]
+
+
+class TestValidation:
+    def test_unknown_kind_rejected_when_strict(self):
+        bus = TelemetryBus()
+        with pytest.raises(TelemetryError, match="unknown event kind"):
+            bus.emit(0.0, "sim.made.up")
+
+    def test_missing_required_field_rejected(self):
+        bus = TelemetryBus()
+        with pytest.raises(TelemetryError, match="missing required field"):
+            bus.emit(0.0, EV_SIM_PAUSE, sender="A", receiver="B")
+
+    def test_non_scalar_field_rejected(self):
+        bus = TelemetryBus()
+        with pytest.raises(TelemetryError, match="not a JSON scalar"):
+            bus.emit(0.0, EV_SIM_INJECT, flow=[1, 2])
+
+    def test_reserved_field_shadow_rejected(self):
+        bus = TelemetryBus()
+        with pytest.raises(TelemetryError, match="reserved"):
+            bus.emit(0.0, EV_SIM_INJECT, flow=1, ts=9.0)
+
+    def test_non_strict_accepts_unregistered_kinds(self):
+        bus = TelemetryBus(strict=False)
+        bus.emit(0.0, "custom.kind", anything=1)
+        assert bus.count("custom.kind") == 1
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError, match="capacity"):
+            TelemetryBus(capacity=0)
+
+    def test_eviction_keeps_counts_lossless(self):
+        bus = TelemetryBus(capacity=4)
+        for flow in range(10):
+            bus.emit(flow * 0.1, EV_SIM_INJECT, flow=flow)
+        assert len(bus) == 4
+        assert bus.total_emitted == 10
+        assert bus.evicted == 6
+        # Counts survive eviction; the ring holds only the newest events.
+        assert bus.count(EV_SIM_INJECT) == 10
+        assert [e.fields["flow"] for e in bus.events()] == [6, 7, 8, 9]
+
+    def test_stats_block(self):
+        bus = TelemetryBus(capacity=2)
+        bus.emit(0.0, EV_SIM_INJECT, flow=1)
+        bus.emit(0.1, EV_SIM_DROP, reason="ttl")
+        bus.emit(0.2, EV_SIM_DROP, reason="ttl")
+        assert bus.stats() == {
+            "total": 3,
+            "buffered": 2,
+            "evicted": 1,
+            "capacity": 2,
+            "by_kind": {EV_SIM_DROP: 2, EV_SIM_INJECT: 1},
+        }
+
+    def test_repr_mentions_occupancy(self):
+        bus = TelemetryBus(capacity=8)
+        bus.emit(0.0, EV_SIM_INJECT, flow=1)
+        assert "1/8" in repr(bus)
+
+
+class TestExport:
+    def test_jsonl_lines_are_compact_and_key_sorted(self):
+        bus = TelemetryBus()
+        bus.emit(0.25, EV_SIM_INJECT, flow=7)
+        (line,) = bus.to_jsonl_lines()
+        assert line == '{"flow":7,"kind":"sim.packet.inject","ts":0.25}'
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        bus = TelemetryBus()
+        bus.emit(0.0, EV_SIM_INJECT, flow=1)
+        bus.emit(0.1, EV_SIM_DROP, reason="ttl", flow=1)
+        path = tmp_path / "stream.jsonl"
+        assert bus.export_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        blobs = [json.loads(line) for line in lines]
+        assert [b["kind"] for b in blobs] == [EV_SIM_INJECT, EV_SIM_DROP]
+        assert blobs[1]["reason"] == "ttl"

@@ -52,6 +52,44 @@ class TestLatency:
         assert metrics.latency_stats(1) is None
         assert metrics.latency_stats(99) is None
 
+    def test_single_sample_percentiles(self):
+        """One sample: every percentile collapses to that sample."""
+        metrics = MetricsRecorder()
+        metrics.record_delivery(
+            time=1.004, flow_id=3, size=1000, created_at=1.0
+        )
+        stats = metrics.latency_stats(3)
+        assert stats.count == 1
+        assert stats.p50 == pytest.approx(0.004)
+        assert stats.p99 == pytest.approx(0.004)
+        assert stats.mean == pytest.approx(0.004)
+        assert stats.maximum == pytest.approx(0.004)
+
+    def test_percentiles_are_nan_free_samples(self):
+        """Nearest-rank always returns an actual sample — never an
+        interpolated value, never NaN, for any fraction."""
+        import math
+
+        from repro.simulator.metrics import _percentile
+
+        samples = sorted((0.003, 0.001, 0.004, 0.002))
+        for fraction in (0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0):
+            value = _percentile(samples, fraction, name="test-series")
+            assert not math.isnan(value)
+            assert value in samples
+        # Edge fractions pin to the extremes.
+        assert _percentile(samples, 0.0) == samples[0]
+        assert _percentile(samples, 1.0) == samples[-1]
+
+    def test_empty_sample_error_names_the_metric(self):
+        from repro.simulator.metrics import _percentile
+
+        with pytest.raises(ValueError, match=r"latency\[flow=9\]"):
+            _percentile([], 0.5, name="latency[flow=9]")
+        # The default name still yields a clear diagnostic.
+        with pytest.raises(ValueError, match="empty sample"):
+            _percentile([], 0.5)
+
     def test_simulated_latency_reasonable(self, testbed):
         """End-to-end: one uncongested flow's p99 is a few packet times."""
         from repro.routing import shortest_path_tables
