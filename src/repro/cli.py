@@ -31,6 +31,8 @@ if TYPE_CHECKING:
     from repro.topology import TopologyDelta
 
 from repro.core import (
+    STRATEGY_EXHAUSTIVE,
+    STRATEGY_SYMMETRY,
     TaggerPlan,
     assert_deadlock_free,
     jellyfish_elp,
@@ -78,7 +80,30 @@ def build_topology(args: argparse.Namespace) -> Topology:
     raise ReproError(f"unknown topology {args.topology!r}")
 
 
+def _strategy(args: argparse.Namespace) -> str:
+    if getattr(args, "symmetry", True):
+        return STRATEGY_SYMMETRY
+    return STRATEGY_EXHAUSTIVE
+
+
 def build_plan(args: argparse.Namespace, topo: Topology) -> TaggerPlan:
+    if getattr(args, "elp", "clos") == "updown":
+        # Pairwise-provider planning: Algorithm 1 over the enumerated
+        # ELP, symmetry-accelerated by default (--no-symmetry forces
+        # exhaustive enumeration).
+        from repro.core import ShortestPathElpProvider, UpDownElpProvider
+
+        provider = (
+            UpDownElpProvider()
+            if args.topology == "clos"
+            else ShortestPathElpProvider()
+        )
+        return TaggerPlan.from_provider(
+            topo,
+            provider,
+            strategy=_strategy(args),
+            workers=getattr(args, "workers", 1),
+        )
     if args.topology == "clos":
         return TaggerPlan.for_clos(topo, max_bounces=args.bounces)
     elp = jellyfish_elp(topo, extra_random_paths=args.extra_paths, seed=args.seed)
@@ -104,6 +129,8 @@ def plan_to_dict(args: argparse.Namespace, plan: TaggerPlan) -> Dict[str, Any]:
                 "ports",
                 "extra_paths",
                 "seed",
+                "elp",
+                "symmetry",
             )
             if hasattr(args, key)
         },
@@ -138,6 +165,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     report = plan.verify()
     print(f"fabric: {topo}")
     print(plan.summary())
+    if plan.meta:
+        certified = "certified" if plan.meta.get("certified") else "exhaustive"
+        print(
+            f"enumeration: {plan.meta.get('strategy')} ({certified}), "
+            f"{plan.meta.get('elp_paths')} ELP path(s)"
+        )
     print(f"verification: {report.summary()}")
     if args.out:
         blob = plan_to_dict(args, plan)
@@ -332,7 +365,12 @@ def cmd_replan(args: argparse.Namespace) -> int:
     deltas = [_parse_delta(spec) for spec in (args.delta or [])]
     telemetry = _make_telemetry(args)
     planner = IncrementalPlanner(
-        topo, provider, minimize=args.minimize, telemetry=telemetry
+        topo,
+        provider,
+        minimize=args.minimize,
+        telemetry=telemetry,
+        strategy=_strategy(args),
+        workers=getattr(args, "workers", 1),
     )
     print(f"fabric: {topo}")
     print(f"initial build: {planner.plan.summary()}")
@@ -531,7 +569,12 @@ def _deploy_transition(
         if args.topology == "clos"
         else ShortestPathElpProvider()
     )
-    planner = IncrementalPlanner(topo, provider)
+    planner = IncrementalPlanner(
+        topo,
+        provider,
+        strategy=_strategy(args),
+        workers=getattr(args, "workers", 1),
+    )
     old = dict(planner.plan.tables)
     deltas = [_parse_delta(spec) for spec in (args.delta or [])]
     if not deltas:
@@ -699,6 +742,26 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_symmetry_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--symmetry",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="recognize isomorphic Clos pods and plan from one "
+            "equivalence class per orbit (default); --no-symmetry "
+            "forces exhaustive per-pair ELP enumeration — the escape "
+            "hatch when the closed form is in doubt",
+        )
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="fan per-tag acyclicity verification out over N "
+            "forked processes (default 1 = serial); the verdict is "
+            "identical at every worker count",
+        )
+
     def add_telemetry_arg(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--telemetry",
@@ -721,6 +784,16 @@ def make_parser() -> argparse.ArgumentParser:
     plan.add_argument("--ports", type=int, default=12)
     plan.add_argument("--extra-paths", type=int, default=0, dest="extra_paths")
     plan.add_argument("--seed", type=int, default=1)
+    plan.add_argument(
+        "--elp",
+        choices=("clos", "updown"),
+        default="clos",
+        help="'clos' (default) uses the topology-native scheme "
+        "(ClosTagger / jellyfish shortest paths); 'updown' plans via "
+        "Algorithm 1 over the pairwise ELP provider (up-down paths on "
+        "clos, shortest paths otherwise), honoring --symmetry",
+    )
+    add_symmetry_arg(plan)
     plan.add_argument("--out", type=str, default=None)
     plan.set_defaults(func=cmd_plan)
 
@@ -793,6 +866,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="re-plan from scratch at the end and require byte-identical "
         "rule tables",
     )
+    add_symmetry_arg(replan)
     replan.add_argument("--out", type=str, default=None)
     add_telemetry_arg(replan)
     replan.set_defaults(func=cmd_replan)
@@ -917,6 +991,7 @@ def make_parser() -> argparse.ArgumentParser:
         dest="time_budget",
         help="wall-clock cap in seconds for --chaos sweeps",
     )
+    add_symmetry_arg(deploy)
     deploy.add_argument("--max-attempts", type=int, default=8, dest="max_attempts")
     deploy.add_argument("--wave-size", type=int, default=8, dest="wave_size")
     deploy.add_argument(

@@ -71,6 +71,15 @@ from repro.core.rules import (
     rules_to_tagged_graph,
     tables_equal,
 )
+from repro.core.parallel import find_first_tag_cycle
+from repro.core.symmetry import (
+    STRATEGIES,
+    STRATEGY_EXHAUSTIVE,
+    STRATEGY_SYMMETRY,
+    SymmetryCertificate,
+    certify,
+    check_strategy,
+)
 from repro.core.ttl_fallback import TtlFallback
 from repro.core.tags import (
     INITIAL_TAG,
@@ -154,4 +163,11 @@ __all__ = [
     "VerificationReport",
     "assert_deadlock_free",
     "verify_tagged_graph",
+    "find_first_tag_cycle",
+    "STRATEGIES",
+    "STRATEGY_EXHAUSTIVE",
+    "STRATEGY_SYMMETRY",
+    "SymmetryCertificate",
+    "certify",
+    "check_strategy",
 ]

@@ -179,6 +179,24 @@ class PairwiseElpProvider:
             elp.extend(self.pair_paths(topo, src, dst))
         return elp
 
+    def iter_paths(self, topo: Topology) -> Iterator[Path]:
+        """Stream the ELP lazily, one validated path at a time.
+
+        Yields exactly the paths (and order) of :meth:`build`, applying
+        the same validation :meth:`ElpSet.add` would, but never holds
+        more than one pair's enumeration in memory — Algorithm 1 can
+        consume the stream incrementally, so at hyperscale the planner
+        avoids materializing the full path list up front.
+        """
+        for src, dst in self.ordered_pairs(topo):
+            for path in self.pair_paths(topo, src, dst):
+                canonical = validate_path(topo, path, allow_failed=True)
+                if not is_loop_free(canonical):
+                    raise TaggingError(
+                        f"ELP paths must be loop-free: {canonical}"
+                    )
+                yield canonical
+
 
 @dataclass
 class UpDownElpProvider(PairwiseElpProvider):

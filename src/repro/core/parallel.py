@@ -1,0 +1,89 @@
+"""Seeded multiprocessing fan-out for per-tag acyclicity checks.
+
+Requirement R1 (Theorem 5.1) is checked per tag class, and the classes
+are independent: tag ``k``'s subgraph shares no edges with tag ``k+1``.
+At hyperscale (a 1024-ToR fat-tree plan carries hundreds of thousands
+of intra-tag edges) the per-tag DFS sweeps are the verify stage's whole
+cost, so :func:`find_first_tag_cycle` can fan them out across a seeded
+``multiprocessing`` pool.
+
+Determinism contract (pinned by ``tests/unit/test_parallel_verify.py``):
+
+- the returned *verdict* — which tag, if any, contains a cycle — is a
+  pure function of the graph, identical at every worker count and seed;
+- the ``seed`` shuffles only the dispatch order of the per-tag work
+  items (load balancing), which cannot change any per-tag result;
+- workers are forked, so the witness cycle a violating tag reports is
+  computed under the parent's hash environment. Plans are acyclic, so
+  plan bytes never depend on a witness; on *violating* graphs the
+  witness composition (not the tag) may differ from the serial scan.
+
+On platforms without the ``fork`` start method the fan-out silently
+degrades to the serial scan — same verdicts, no subprocess cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.tags import TaggedGraph, TEdge, TNode
+
+#: One per-tag work item: (tag, sorted nodes, sorted intra-tag edges).
+_TagWork = Tuple[int, List[TNode], List[TEdge]]
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _probe_tag(work: _TagWork) -> Tuple[int, Optional[List[TNode]]]:
+    """Rebuild one tag's subgraph in the worker and scan it for a cycle."""
+    tag, nodes, edges = work
+    subgraph = TaggedGraph()
+    for node in nodes:
+        subgraph.add_node(node)
+    for src, dst in edges:
+        subgraph.add_edge(src, dst)
+    return tag, subgraph.find_tag_cycle(tag)
+
+
+def find_first_tag_cycle(
+    graph: TaggedGraph, workers: int = 1, seed: int = 0
+) -> Optional[List[TNode]]:
+    """Cycle witness from the lowest tag violating R1, or ``None``.
+
+    With ``workers <= 1`` this is exactly the serial ascending-tag scan
+    the verifier has always run. With more workers the per-tag checks
+    run in a forked pool; the reduction keeps the lowest violating tag,
+    so the verdict is independent of scheduling.
+    """
+    tags = graph.tags()
+    context = _fork_context() if workers > 1 else None
+    if context is None or workers <= 1 or len(tags) <= 1:
+        for tag in tags:
+            cycle = graph.find_tag_cycle(tag)
+            if cycle is not None:
+                return cycle
+        return None
+
+    work: List[_TagWork] = [
+        (
+            tag,
+            sorted(graph.nodes_with_tag(tag)),
+            sorted(graph.tag_subgraph_edges(tag)),
+        )
+        for tag in tags
+    ]
+    random.Random(seed).shuffle(work)
+    chunksize = max(1, len(work) // (workers * 2))
+    with context.Pool(processes=workers) as pool:
+        results = pool.map(_probe_tag, work, chunksize=chunksize)
+    cycles = {tag: cycle for tag, cycle in results if cycle is not None}
+    if not cycles:
+        return None
+    return cycles[min(cycles)]

@@ -18,14 +18,17 @@ Three constructors mirror the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence
 
 from repro.core.bruteforce import bruteforce_tagging
 from repro.core.clos import ClosTagger
 from repro.core.determinize import deterministic_minimize
-from repro.core.elp import PairwiseElpProvider
+from repro.core.elp import ElpSet, PairwiseElpProvider
 from repro.core.greedy import greedy_minimize
+from repro.core.symmetry import STRATEGY_SYMMETRY, certify, check_strategy
 from repro.core.multiclass import MultiClassClosTagger, TrafficClass
 from repro.core.pipeline import PipelineConfig, QueueMap
 from repro.core.rules import (
@@ -36,11 +39,41 @@ from repro.core.rules import (
     rules_from_tagged_graph,
     rules_to_tagged_graph,
 )
-from repro.core.tags import INITIAL_TAG, TaggedGraph
+from repro.core.tags import INITIAL_TAG, TaggedGraph, ingress_hops
 from repro.core.verification import VerificationReport, assert_deadlock_free, verify_tagged_graph
 from repro.exceptions import TaggingError
 from repro.perf.timing import StageTimer
 from repro.topology.base import Topology
+
+
+def _timed_stream(
+    paths: Iterator[Sequence[str]],
+    timer: StageTimer,
+    counter: Dict[str, int],
+) -> Iterator[Sequence[str]]:
+    """Meter a lazy path stream consumed inside another timed stage.
+
+    Algorithm 1 pulls the provider's paths from *inside* the
+    ``bruteforce`` stage, so enumeration time would otherwise be charged
+    to tagging. This wrapper measures each pull and, on close, moves the
+    total from ``bruteforce`` to ``elp`` in one batched adjustment
+    (per-path ``timer.add`` calls would cost real time at hyperscale).
+    """
+    pulled = 0.0
+    it = iter(paths)
+    try:
+        while True:
+            start = time.perf_counter()
+            try:
+                path = next(it)
+            except StopIteration:
+                return
+            pulled += time.perf_counter() - start
+            counter["paths"] += 1
+            yield path
+    finally:
+        timer.add("elp", pulled)
+        timer.add("bruteforce", -pulled)
 
 
 @dataclass
@@ -53,6 +86,10 @@ class TaggerPlan:
     queue_map: QueueMap
     description: str = ""
     rule_report: Optional[RuleGenerationReport] = None
+    #: Provenance of the plan (enumeration strategy, certificate status,
+    #: path counts); informational only — never consulted by the
+    #: pipeline, so byte-identity of plans is judged on graph + tables.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -65,6 +102,8 @@ class TaggerPlan:
         max_lossless_queues: int = 8,
         on_conflict: str = "max",
         timer: Optional[StageTimer] = None,
+        workers: int = 1,
+        seed: int = 0,
     ) -> "TaggerPlan":
         """Generic construction: Algorithm 1, then tag minimization.
 
@@ -78,6 +117,11 @@ class TaggerPlan:
                 given, records wall-clock per pipeline stage
                 (``bruteforce``, ``minimize``, ``verify``, ``queue-map``)
                 for the perf baselines in ``BENCH_pipeline.json``.
+            workers: Fan the verify stage's per-tag acyclicity checks
+                out over this many forked processes (> 1); the plan is
+                identical at every worker count
+                (:mod:`repro.core.parallel`).
+            seed: Shuffles parallel dispatch order only; result-neutral.
 
         Raises :class:`~repro.exceptions.CapacityError` if the resulting
         tag count exceeds ``max_lossless_queues`` — the paper's practical
@@ -89,6 +133,35 @@ class TaggerPlan:
             timer = StageTimer()
         with timer.stage("bruteforce"):
             graph = bruteforce_tagging(topo, elp)
+        return TaggerPlan._finish(
+            topo,
+            graph,
+            minimize=minimize,
+            max_lossless_queues=max_lossless_queues,
+            on_conflict=on_conflict,
+            timer=timer,
+            workers=workers,
+            seed=seed,
+        )
+
+    @staticmethod
+    def _finish(
+        topo: Topology,
+        graph: TaggedGraph,
+        minimize: str,
+        max_lossless_queues: int,
+        on_conflict: str,
+        timer: StageTimer,
+        workers: int = 1,
+        seed: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "TaggerPlan":
+        """Minimize + verify + queue-map a brute-force tagged graph.
+
+        Shared tail of every Algorithm-1 construction path — explicit
+        ELP, streamed provider, or symmetry-certified closed form — so
+        all of them compile byte-identical plans from equal graphs.
+        """
         rule_report: Optional[RuleGenerationReport] = None
         if minimize == "deterministic":
             with timer.stage("minimize"):
@@ -96,13 +169,13 @@ class TaggerPlan:
             tables = result.tables
             graph = result.graph
             with timer.stage("verify"):
-                assert_deadlock_free(graph)
+                assert_deadlock_free(graph, workers=workers, seed=seed)
         else:
             with timer.stage("minimize"):
                 if minimize == "paper":
                     graph = greedy_minimize(graph)
             with timer.stage("verify"):
-                assert_deadlock_free(graph)
+                assert_deadlock_free(graph, workers=workers, seed=seed)
                 rule_report = rules_from_tagged_graph(
                     topo, graph, on_conflict=on_conflict
                 )
@@ -111,7 +184,9 @@ class TaggerPlan:
                     # Conflict resolution changed semantics; re-verify
                     # what the rules actually deploy.
                     effective = rules_to_tagged_graph(topo, tables)
-                    assert_deadlock_free(effective)
+                    assert_deadlock_free(
+                        effective, workers=workers, seed=seed
+                    )
                     graph = effective
         with timer.stage("queue-map"):
             queue_map = QueueMap.identity(graph.max_tag, max_lossless_queues)
@@ -122,6 +197,7 @@ class TaggerPlan:
             queue_map=queue_map,
             description=f"algorithm-1+{minimize} ({graph.num_tags} tags)",
             rule_report=rule_report,
+            meta=dict(meta or {}),
         )
 
     @staticmethod
@@ -133,6 +209,9 @@ class TaggerPlan:
         on_conflict: str = "max",
         extra_paths: Sequence[Sequence[str]] = (),
         timer: Optional[StageTimer] = None,
+        strategy: str = STRATEGY_SYMMETRY,
+        workers: int = 1,
+        seed: int = 0,
     ) -> "TaggerPlan":
         """From-scratch plan via a pairwise ELP provider (+ pinned extras).
 
@@ -141,19 +220,94 @@ class TaggerPlan:
         surface, so the two can be compared byte for byte. The ``elp``
         stage (path enumeration) is timed separately from the
         :meth:`from_elp` stages.
+
+        Args:
+            strategy: ``"symmetry"`` (default) first tries to certify
+                the topology/provider pair as a healthy symmetric Clos
+                (:mod:`repro.core.symmetry`); on success the tagged
+                graph is built in closed form from one representative
+                per pod/spine equivalence class, skipping per-pair path
+                enumeration entirely. When certification fails — any
+                asymmetry: failed links, drained endpoints, a
+                non-up-down provider — it degrades to ``"exhaustive"``,
+                which streams the provider's paths lazily into
+                Algorithm 1. Both paths compile byte-identical plans.
+            workers: Verify-stage fan-out (see :meth:`from_elp`).
+            seed: Parallel dispatch shuffle; result-neutral.
         """
+        check_strategy(strategy)
         if timer is None:
             timer = StageTimer()
+        cert = None
+        if strategy == STRATEGY_SYMMETRY:
+            with timer.stage("certify"):
+                cert = certify(topo, provider)
+        if cert is not None:
+            with timer.stage("elp"):
+                extras = ElpSet(topo, description=provider.description)
+                extras.extend(extra_paths)
+            with timer.stage("bruteforce"):
+                graph = TaggedGraph()
+                cert.populate_graph(graph)
+                saw_path = graph.num_nodes > 0
+                for path in extras:
+                    tag = INITIAL_TAG
+                    last_node = None
+                    for port_key in ingress_hops(topo, path):
+                        node = (port_key, tag)
+                        graph.add_node(node)
+                        if last_node is not None:
+                            graph.add_edge(last_node, node)
+                        last_node = node
+                        tag += 1
+                    saw_path = True
+                if not saw_path:
+                    raise TaggingError("empty ELP: nothing to tag")
+            meta: Dict[str, Any] = {
+                "strategy": strategy,
+                "certified": True,
+                "elp_paths": cert.path_count() + len(extras),
+            }
+            return TaggerPlan._finish(
+                topo,
+                graph,
+                minimize=minimize,
+                max_lossless_queues=max_lossless_queues,
+                on_conflict=on_conflict,
+                timer=timer,
+                workers=workers,
+                seed=seed,
+                meta=meta,
+            )
+        # Exhaustive enumeration (explicit, or symmetry degraded):
+        # stream the provider's paths lazily into Algorithm 1 so the
+        # full path list is never materialized.
         with timer.stage("elp"):
-            elp = provider.build(topo)
-            elp.extend(extra_paths)
-        return TaggerPlan.from_elp(
+            extras = ElpSet(topo, description=provider.description)
+            extras.extend(extra_paths)
+        counter = {"paths": 0}
+        stream = _timed_stream(provider.iter_paths(topo), timer, counter)
+        with timer.stage("bruteforce"):
+            graph = bruteforce_tagging(
+                topo,
+                itertools.chain(stream, extras.paths),
+                require_loop_free=False,
+            )
+        meta = {
+            "strategy": strategy,
+            "certified": False,
+            "elp_paths": counter["paths"] + len(extras),
+        }
+        return TaggerPlan._finish(
             topo,
-            elp,
+            graph,
             minimize=minimize,
             max_lossless_queues=max_lossless_queues,
             on_conflict=on_conflict,
             timer=timer,
+            workers=workers,
+            seed=seed,
+            meta=meta,
         )
 
     @staticmethod

@@ -27,8 +27,17 @@ actually invalidates:
    :class:`~repro.core.determinize.DeterministicMinimizer` restores its
    per-level checkpoint and reprocesses only the dirty suffix.
 4. **Plan memo.** Full resulting states are memoized per topology
-   fingerprint (plus the pinned extra-path signature), so fail→restore
-   flaps replay from cache.
+   fingerprint (qualified by the enumeration strategy, plus the pinned
+   extra-path signature), so fail→restore flaps replay from cache —
+   and a plan enumerated exhaustively is never served to a
+   symmetry-mode request, or vice versa.
+5. **Symmetry certificate.** Under the default ``"symmetry"`` strategy
+   the planner keeps a :mod:`repro.core.symmetry` certificate of the
+   current topology; while it holds (healthy symmetric Clos), per-pair
+   enumeration uses the certificate's closed form instead of the
+   provider's graph search. Any asymmetry — a failed link, a drain —
+   invalidates the certificate and pair recomputation degrades to the
+   exhaustive provider, byte-identically.
 
 Whenever a prerequisite fails — the provider contract cannot localize a
 restore because the planner never saw the no-failure baseline, or the
@@ -59,6 +68,12 @@ from repro.core.rules import (
     diff_tables,
     rules_from_tagged_graph,
     rules_to_tagged_graph,
+)
+from repro.core.symmetry import (
+    STRATEGY_SYMMETRY,
+    SymmetryCertificate,
+    certify,
+    check_strategy,
 )
 from repro.core.tags import INITIAL_TAG, TaggedGraph, TEdge, TNode, ingress_hops
 from repro.core.verification import assert_deadlock_free
@@ -259,15 +274,30 @@ class IncrementalPlanner:
         memo_capacity: int = 8,
         extra_paths: Tuple[Path, ...] = (),
         telemetry: Optional[Telemetry] = None,
+        strategy: str = STRATEGY_SYMMETRY,
+        workers: int = 1,
+        seed: int = 0,
     ) -> None:
         if minimize not in ("deterministic", "paper", "off"):
             raise TaggingError(f"unknown minimize mode {minimize!r}")
+        check_strategy(strategy)
         self.topo = topo
         self.provider = provider
         self.minimize = minimize
         self.max_lossless_queues = max_lossless_queues
         self.on_conflict = on_conflict
         self.memo_capacity = memo_capacity
+        #: Enumeration strategy; part of the memo key, so memoized plans
+        #: are never served across strategies.
+        self.strategy = strategy
+        #: Verify-stage fan-out + dispatch seed (result-neutral; see
+        #: :mod:`repro.core.parallel`).
+        self.workers = workers
+        self.seed = seed
+        #: Closed-form pair enumeration certificate; non-None only under
+        #: the symmetry strategy while the topology stays a healthy
+        #: symmetric Clos.
+        self._cert: Optional[SymmetryCertificate] = None
         #: Optional observability hookup; a pure observer (never consulted
         #: by the planning pipeline itself).
         self.telemetry = telemetry
@@ -359,6 +389,7 @@ class IncrementalPlanner:
             EV_REPLAN_APPLY,
             delta_kind=result.delta.kind,
             mode=result.mode,
+            strategy=self.strategy,
             dirty_pairs=result.dirty_pairs,
             changed_paths=result.changed_paths,
         )
@@ -400,6 +431,10 @@ class IncrementalPlanner:
             touched = apply_delta(self.topo, delta)
 
         is_path_delta = delta.kind in (ADD_PATHS, REMOVE_PATHS)
+        if not is_path_delta:
+            # Topology changed: re-certify (or drop) the closed-form
+            # pair enumeration before any pair is recomputed.
+            self._refresh_cert(timer)
         memo_key = self._memo_key()
         if not force_full and not is_path_delta:
             entry = self._memo.get(memo_key)
@@ -520,6 +555,26 @@ class IncrementalPlanner:
             raise TaggingError(f"ELP paths must be loop-free: {canonical}")
         return canonical
 
+    def _refresh_cert(self, timer: StageTimer) -> None:
+        """Re-establish (or drop) the symmetry certificate for ``topo``."""
+        if self.strategy != STRATEGY_SYMMETRY:
+            self._cert = None
+            return
+        with timer.stage("certify"):
+            self._cert = certify(self.topo, self.provider)
+
+    def _provider_pair_paths(self, pair: Pair) -> Tuple[Path, ...]:
+        """One pair's ELP — closed form while certified, else provider.
+
+        The certificate's :meth:`~SymmetryCertificate.pair_paths` is
+        byte-identical to the provider's on any topology it certifies
+        (property-tested), so callers never observe which one ran.
+        """
+        src, dst = pair
+        if self._cert is not None:
+            return self._cert.pair_paths(src, dst)
+        return self.provider.pair_paths(self.topo, src, dst)
+
     def _recompute_pair(
         self, pair: Pair
     ) -> Optional[Tuple[Tuple[Path, ...], Tuple[Path, ...]]]:
@@ -531,9 +586,8 @@ class IncrementalPlanner:
         ``_pending_nodes`` / ``_pending_edges`` so the caller can account
         them to the brute-force stage.
         """
-        src, dst = pair
         old = self._pairs.get(pair, ())
-        new = self.provider.pair_paths(self.topo, src, dst)
+        new = self._provider_pair_paths(pair)
         if new == old:
             if self._base is not None:
                 # Membership may still flip on a restore that undoes the
@@ -594,6 +648,7 @@ class IncrementalPlanner:
         """From-scratch build of every pipeline stage (init path)."""
         self._pending_nodes = []
         self._pending_edges = []
+        self._refresh_cert(timer)
         with timer.stage("elp"):
             for pair in self.provider.ordered_pairs(self.topo):
                 self._recompute_pair(pair)
@@ -655,7 +710,9 @@ class IncrementalPlanner:
                     else graph
                 )
         with timer.stage("verify"):
-            assert_deadlock_free(final_graph)
+            assert_deadlock_free(
+                final_graph, workers=self.workers, seed=self.seed
+            )
             if self.minimize != "deterministic":
                 rule_report = rules_from_tagged_graph(
                     self.topo, final_graph, on_conflict=self.on_conflict
@@ -663,7 +720,9 @@ class IncrementalPlanner:
                 tables = rule_report.tables
                 if rule_report.conflicts:
                     effective = rules_to_tagged_graph(self.topo, tables)
-                    assert_deadlock_free(effective)
+                    assert_deadlock_free(
+                        effective, workers=self.workers, seed=self.seed
+                    )
                     final_graph = effective
         with timer.stage("queue-map"):
             queue_map = QueueMap.identity(
@@ -678,6 +737,10 @@ class IncrementalPlanner:
                 f"algorithm-1+{self.minimize} ({final_graph.num_tags} tags)"
             ),
             rule_report=rule_report,
+            meta={
+                "strategy": self.strategy,
+                "certified": self._cert is not None,
+            },
         )
         self._plan = plan
         self._plan_dirty = False
@@ -702,7 +765,14 @@ class IncrementalPlanner:
     # Memoization
     # ------------------------------------------------------------------
     def _memo_key(self) -> _MemoKey:
-        return (self.topo.fingerprint(), tuple(sorted(self._extras)))
+        # The strategy qualifies the fingerprint: a memoized exhaustive
+        # plan must never satisfy a symmetry-mode request (or vice
+        # versa) even though both hold identical bytes — their provenance
+        # metadata and downstream perf expectations differ.
+        return (
+            f"{self.topo.fingerprint()}:{self.strategy}",
+            tuple(sorted(self._extras)),
+        )
 
     def _store_memo(self) -> None:
         if self._plan is None or self._plan_dirty or self.memo_capacity <= 0:

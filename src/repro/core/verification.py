@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.parallel import find_first_tag_cycle
 from repro.core.tags import TaggedGraph, TEdge, TNode
 from repro.exceptions import VerificationError
 
@@ -54,8 +55,17 @@ class VerificationReport:
         )
 
 
-def verify_tagged_graph(graph: TaggedGraph) -> VerificationReport:
-    """Check requirements R1 and R2; never raises on violation."""
+def verify_tagged_graph(
+    graph: TaggedGraph, workers: int = 1, seed: int = 0
+) -> VerificationReport:
+    """Check requirements R1 and R2; never raises on violation.
+
+    Args:
+        workers: Per-tag acyclicity checks fan out over this many
+            forked processes when > 1 (see :mod:`repro.core.parallel`);
+            the verdict is identical at every worker count.
+        seed: Shuffles the parallel dispatch order only; result-neutral.
+    """
     decreasing: Optional[TEdge] = None
     cross = 0
     for src, dst in graph.edges():
@@ -65,14 +75,14 @@ def verify_tagged_graph(graph: TaggedGraph) -> VerificationReport:
         elif dst[1] > src[1]:
             cross += 1
 
-    tag_cycle: Optional[List[TNode]] = None
     nodes_per_tag: Dict[int, int] = {}
     intra_per_tag: Dict[int, int] = {}
     for tag in graph.tags():
         nodes_per_tag[tag] = len(graph.nodes_with_tag(tag))
         intra_per_tag[tag] = len(graph.tag_subgraph_edges(tag))
-        if tag_cycle is None:
-            tag_cycle = graph.find_tag_cycle(tag)
+    tag_cycle: Optional[List[TNode]] = find_first_tag_cycle(
+        graph, workers=workers, seed=seed
+    )
 
     return VerificationReport(
         deadlock_free=decreasing is None and tag_cycle is None,
@@ -85,9 +95,11 @@ def verify_tagged_graph(graph: TaggedGraph) -> VerificationReport:
     )
 
 
-def assert_deadlock_free(graph: TaggedGraph) -> VerificationReport:
+def assert_deadlock_free(
+    graph: TaggedGraph, workers: int = 1, seed: int = 0
+) -> VerificationReport:
     """Verify and raise :class:`VerificationError` with diagnostics on failure."""
-    report = verify_tagged_graph(graph)
+    report = verify_tagged_graph(graph, workers=workers, seed=seed)
     if report.decreasing_edge is not None:
         src, dst = report.decreasing_edge
         raise VerificationError(

@@ -31,6 +31,10 @@ invariant                   meaning
 ``incremental-divergence``  after a link flap, the incremental re-plan
                             differs from the from-scratch plan (rule
                             tables or tagged graph)
+``symmetry-divergence``     the symmetry-strategy planner (closed-form
+                            orbit replication, or its degraded
+                            exhaustive fallback) produced different
+                            bytes than explicit exhaustive enumeration
 ``deployment-divergence``   rolling the re-planned diff onto an agent
                             fleet through a benign fault schedule failed
                             to converge to the exact target with
@@ -47,7 +51,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import (
+    STRATEGY_EXHAUSTIVE,
+    STRATEGY_SYMMETRY,
     ClosTagger,
+    TaggerPlan,
     bruteforce_tagging,
     coverage_report,
     deterministic_minimize,
@@ -73,6 +80,7 @@ from repro.fuzz.faults import (
     DEPLOY_FAULTS,
     GRAPH_FAULTS,
     REPLAN_FAULTS,
+    SYMMETRY_FAULTS,
 )
 from repro.fuzz.scenarios import Scenario, _switches_connected
 from repro.lint import DeploymentArtifact, lint_artifact
@@ -188,6 +196,9 @@ def cross_check(
     budget = scenario.clos_bounce_budget
     if budget is not None and not scenario.failed_links:
         _check_clos(result, topo, elp, budget, fault)
+
+    # -- Symmetry-strategy planner vs exhaustive enumeration -----------
+    _check_symmetry(result, scenario, fault)
 
     # -- Incremental re-planner vs from-scratch ------------------------
     _check_replan(result, scenario, fault)
@@ -363,6 +374,76 @@ def _replan_provider(scenario: Scenario) -> Optional[PairwiseElpProvider]:
             per_pair=scenario.elp_params.get("per_pair", 1),
         )
     return None
+
+
+def _check_symmetry(
+    result: CrossCheckResult, scenario: Scenario, fault: Optional[str]
+) -> None:
+    """Differential check of the symmetry enumeration strategy.
+
+    Plans the scenario twice through :meth:`TaggerPlan.from_provider` —
+    once under the default symmetry strategy (closed-form orbit
+    replication when the topology certifies, exhaustive degradation
+    otherwise) and once with enumeration forced exhaustive — and demands
+    byte-identical rule tables and tagged graphs. Refusals must also
+    agree: if one strategy rejects the scenario (e.g. empty ELP), the
+    other must reject it too. A symmetry-stage fault corrupts the
+    symmetry plan after the fact; the oracle must flag the divergence.
+    """
+    provider = _replan_provider(scenario)
+    if provider is None:
+        result.stats["symmetry"] = "skipped: ELP not pair-decomposable"
+        return
+    sym_error: Optional[str] = None
+    exh_error: Optional[str] = None
+    sym = exh = None
+    try:
+        sym = TaggerPlan.from_provider(
+            scenario.build_topology(), provider, strategy=STRATEGY_SYMMETRY
+        )
+    except ReproError as exc:
+        sym_error = str(exc)
+    try:
+        exh = TaggerPlan.from_provider(
+            scenario.build_topology(), provider, strategy=STRATEGY_EXHAUSTIVE
+        )
+    except ReproError as exc:
+        exh_error = str(exc)
+    if sym_error is not None or exh_error is not None:
+        if sym_error == exh_error:
+            result.stats["symmetry"] = f"skipped: both refused ({sym_error})"
+            return
+        result.violations.append(
+            Violation(
+                "symmetry-divergence",
+                f"strategies disagree on refusal: "
+                f"symmetry={sym_error!r}, exhaustive={exh_error!r}",
+            )
+        )
+        return
+    assert sym is not None and exh is not None
+    if fault in SYMMETRY_FAULTS:
+        SYMMETRY_FAULTS[fault](sym)
+    if not tables_equal(sym.tables, exh.tables):
+        result.violations.append(
+            Violation(
+                "symmetry-divergence",
+                "symmetry-strategy rule tables differ from exhaustive "
+                "enumeration",
+            )
+        )
+        return
+    if sym.graph != exh.graph:
+        result.violations.append(
+            Violation(
+                "symmetry-divergence",
+                "symmetry-strategy tagged graph differs from exhaustive "
+                "enumeration",
+            )
+        )
+        return
+    mode = "certified" if sym.meta.get("certified") else "degraded"
+    result.stats["symmetry"] = f"checked ({mode})"
 
 
 def _replan_flap_link(

@@ -22,6 +22,7 @@ if TYPE_CHECKING:
 
 from repro.core.clos import ClosTagger
 from repro.core.compression import TcamEntry
+from repro.core.planner import TaggerPlan
 from repro.core.replan import IncrementalPlanner
 from repro.core.rules import RuleTable
 from repro.core.tags import INITIAL_TAG, TaggedGraph, TNode
@@ -222,6 +223,28 @@ REPLAN_FAULTS: Dict[
 }
 
 
+def symmetry_drop_rule(plan: TaggerPlan) -> None:
+    """Lose one rule from a symmetry-planned table set.
+
+    Models a closed-form replication bug: the per-orbit tagging is
+    computed correctly but one replica's rule never materializes. The
+    byte-identity oracle against the exhaustive planner
+    (``symmetry-divergence``) must catch it whenever the plan holds any
+    explicit rule — identity only on ELPs too short to emit one.
+    """
+    for switch in sorted(plan.tables):
+        table = plan.tables[switch]
+        if table.rules:
+            del table.rules[sorted(table.rules)[0]]
+            return
+
+
+#: Symmetry-stage faults: corrupt the symmetry-planned TaggerPlan.
+SYMMETRY_FAULTS: Dict[str, Callable[[TaggerPlan], None]] = {
+    "symmetry-drop-rule": symmetry_drop_rule,
+}
+
+
 def deploy_phantom_ack(agents: Dict[str, "SwitchAgent"]) -> None:
     """Make one diff-carrying agent ack batches without applying any op.
 
@@ -268,6 +291,7 @@ FAULTS = tuple(
         | set(CLOS_FAULTS)
         | set(ARTIFACT_FAULTS)
         | set(REPLAN_FAULTS)
+        | set(SYMMETRY_FAULTS)
         | set(DEPLOY_FAULTS)
     )
 )

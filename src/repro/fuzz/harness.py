@@ -150,7 +150,7 @@ class FuzzReport:
 
 
 #: Static invariants evaluated per scenario (for the checks counter).
-_CHECKS_PER_SCENARIO = 16
+_CHECKS_PER_SCENARIO = 17
 
 
 def run_fuzz(

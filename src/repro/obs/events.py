@@ -71,7 +71,13 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_TRACE_DROP: ("node",),
     EV_TRACE_PAUSE: ("node",),
     EV_TRACE_RESUME: ("node",),
-    EV_REPLAN_APPLY: ("delta_kind", "mode", "dirty_pairs", "changed_paths"),
+    EV_REPLAN_APPLY: (
+        "delta_kind",
+        "mode",
+        "strategy",
+        "dirty_pairs",
+        "changed_paths",
+    ),
     EV_DEPLOY_RPC: ("switch", "status", "attempt"),
     EV_DEPLOY_RETRY: ("switch", "attempt"),
     EV_DEPLOY_BREAKER_OPEN: ("switch", "failures"),

@@ -53,6 +53,12 @@ def observe_plan(registry: MetricsRegistry, plan: "TaggerPlan") -> None:
     registry.gauge(
         "planner_switches", "Switches carrying a non-empty rule table."
     ).set(sum(1 for table in plan.tables.values() if table.rules))
+    elp_paths = plan.meta.get("elp_paths")
+    if elp_paths is not None:
+        registry.gauge(
+            "planner_elp_paths",
+            "ELP paths the plan covers (counted or closed-form).",
+        ).set(elp_paths)
 
 
 def sample_queue_gauges(

@@ -1,8 +1,23 @@
 """Shared fixtures: the paper's testbed topology and friends."""
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.topology import ClosParams, Topology, clos3, testbed_clos
+
+# CI smoke lanes shrink the property sweeps without editing any test:
+# select with REPRO_HYPOTHESIS_PROFILE=ci-smoke. Suites that pin their
+# own example counts derive them from ``settings.default.max_examples``
+# (the loaded profile) so the cap propagates without per-test edits.
+settings.register_profile(
+    "ci-smoke",
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 def pytest_addoption(parser):

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import (
     INITIAL_TAG,
+    STRATEGY_EXHAUSTIVE,
     IncrementalPlanner,
     ShortestPathElpProvider,
     UpDownElpProvider,
@@ -229,6 +230,42 @@ def test_empty_elp_refused_then_recovers():
 # ----------------------------------------------------------------------
 # Memoization bounds
 # ----------------------------------------------------------------------
+def test_memo_key_is_strategy_qualified():
+    sym = IncrementalPlanner(testbed_clos(), UpDownElpProvider())
+    exh = IncrementalPlanner(
+        testbed_clos(), UpDownElpProvider(), strategy=STRATEGY_EXHAUSTIVE
+    )
+    assert sym._memo_key() != exh._memo_key()
+    assert sym._memo_key()[0].endswith(":symmetry")
+    assert exh._memo_key()[0].endswith(":exhaustive")
+
+
+def test_foreign_strategy_memo_never_hits():
+    """A plan memoized under one strategy must miss under the other.
+
+    Regression: the key used to be the bare topology fingerprint, so a
+    planner handed a memo populated under the other enumeration strategy
+    would serve it — byte-identical tables, but lying provenance meta
+    and stage timings. The strategy-qualified key pins the miss.
+    """
+    sym = IncrementalPlanner(testbed_clos(), UpDownElpProvider())
+    sym.apply(TopologyDelta.link_down("L1", "S1"))
+    sym.apply(TopologyDelta.link_up("L1", "S1"))
+
+    # Control: a same-strategy planner sharing the memo store hits.
+    twin = IncrementalPlanner(testbed_clos(), UpDownElpProvider())
+    twin._memo = sym._memo
+    assert twin.apply(TopologyDelta.link_down("L1", "S1")).mode == MODE_MEMO
+
+    # An exhaustive planner inheriting the same store must not.
+    exh = IncrementalPlanner(
+        testbed_clos(), UpDownElpProvider(), strategy=STRATEGY_EXHAUSTIVE
+    )
+    exh._memo = sym._memo
+    result = exh.apply(TopologyDelta.link_down("L1", "S1"))
+    assert result.mode != MODE_MEMO
+
+
 def test_memo_capacity_is_lru_bounded():
     planner = IncrementalPlanner(
         testbed_clos(), UpDownElpProvider(), memo_capacity=2
@@ -253,7 +290,11 @@ def test_result_summary_and_counters(planner):
     assert result.total_rule_touches == sum(
         d.touch_count for d in result.diffs.values()
     )
-    assert result.fingerprint == planner.topo.fingerprint()
+    # The result fingerprint is the memo key: topology fingerprint
+    # qualified by the enumeration strategy.
+    assert result.fingerprint == (
+        f"{planner.topo.fingerprint()}:{planner.strategy}"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,192 @@
+"""Unit tests for the symmetry certificate (repro.core.symmetry).
+
+The property suite establishes byte-identity against exhaustive
+enumeration; these tests pin the *gate*: every structural condition
+under which :func:`certify` must refuse (returning ``None`` so callers
+degrade safely), plus the closed-form accessors on a certificate built
+by hand.
+"""
+
+import pytest
+
+from repro.core import (
+    STRATEGIES,
+    STRATEGY_EXHAUSTIVE,
+    STRATEGY_SYMMETRY,
+    ShortestPathElpProvider,
+    UpDownElpProvider,
+    certify,
+    check_strategy,
+)
+from repro.exceptions import TaggingError
+from repro.topology import ClosParams, Topology, clos3
+
+SMALL = ClosParams(
+    num_pods=2, tors_per_pod=2, leaves_per_pod=2, num_spines=2,
+    hosts_per_tor=0,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategy validation
+# ----------------------------------------------------------------------
+def test_strategy_constants_are_accepted():
+    assert set(STRATEGIES) == {STRATEGY_EXHAUSTIVE, STRATEGY_SYMMETRY}
+    for strategy in STRATEGIES:
+        assert check_strategy(strategy) == strategy
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(TaggingError, match="unknown enumeration strategy"):
+        check_strategy("heuristic")
+
+
+# ----------------------------------------------------------------------
+# certify: every refusal branch
+# ----------------------------------------------------------------------
+def test_healthy_clos_certifies():
+    assert certify(clos3(SMALL), UpDownElpProvider()) is not None
+
+
+def test_wrong_provider_type_refused():
+    assert certify(clos3(SMALL), ShortestPathElpProvider()) is None
+
+
+def test_provider_subclass_refused():
+    """A subclass may override pair_paths; the exact-type check is load-
+    bearing, not pedantry."""
+
+    class TweakedProvider(UpDownElpProvider):
+        pass
+
+    assert certify(clos3(SMALL), TweakedProvider()) is None
+
+
+def test_non_shortest_enumeration_refused():
+    provider = UpDownElpProvider(shortest_only=False)
+    assert certify(clos3(SMALL), provider) is None
+
+
+def test_failed_link_refused():
+    topo = clos3(SMALL)
+    tor = sorted(topo.switches_at_layer(0))[0]
+    leaf = next(
+        peer
+        for peer in sorted(topo.neighbors(tor))
+        if topo.node(peer).is_switch
+    )
+    topo.fail_link(tor, leaf)
+    assert certify(topo, UpDownElpProvider()) is None
+
+
+def test_endpoint_subset_refused():
+    topo = clos3(SMALL)
+    tors = sorted(topo.switches_at_layer(0))
+    provider = UpDownElpProvider(explicit_endpoints=tors[:-1])
+    assert certify(topo, provider) is None
+
+
+def test_full_endpoint_set_accepted_regardless_of_order():
+    topo = clos3(SMALL)
+    tors = sorted(topo.switches_at_layer(0))
+    shuffled = list(reversed(tors)) + [tors[0]]  # unordered, duplicated
+    provider = UpDownElpProvider(explicit_endpoints=shuffled)
+    assert certify(topo, provider) is not None
+
+
+def test_unlayered_switch_refused():
+    topo = clos3(SMALL)
+    topo.add_switch("MGMT")  # no layer assigned
+    assert certify(topo, UpDownElpProvider()) is None
+
+
+def test_fourth_layer_switch_refused():
+    topo = clos3(SMALL)
+    topo.add_switch("CORE", layer=3)
+    spine = sorted(topo.switches_at_layer(2))[0]
+    topo.add_link("CORE", spine)
+    assert certify(topo, UpDownElpProvider()) is None
+
+
+def _bipartite_pod(*, complete: bool) -> Topology:
+    topo = Topology()
+    for tor in ("T1", "T2"):
+        topo.add_switch(tor, layer=0)
+    for leaf in ("L1", "L2"):
+        topo.add_switch(leaf, layer=1)
+    topo.add_link("T1", "L1")
+    topo.add_link("T1", "L2")
+    topo.add_link("T2", "L1")
+    if complete:
+        topo.add_link("T2", "L2")
+    return topo
+
+
+def test_incomplete_bipartite_pod_refused():
+    topo = _bipartite_pod(complete=False)
+    assert certify(topo, UpDownElpProvider()) is None
+
+
+def test_spine_shared_between_colors_refused():
+    """Leaves with distinct spine neighborhoods must not share a spine:
+    cross-color paths exist that per-color enumeration would miss."""
+    topo = _bipartite_pod(complete=True)
+    topo.add_switch("S1", layer=2)
+    topo.add_switch("S2", layer=2)
+    topo.add_link("L1", "S1")
+    topo.add_link("L2", "S1")  # S1 in both colors...
+    topo.add_link("L2", "S2")  # ...but L2's color is {S1, S2}
+    assert certify(topo, UpDownElpProvider()) is None
+
+
+# ----------------------------------------------------------------------
+# Certificate accessors on accepted fabrics
+# ----------------------------------------------------------------------
+def test_uplinkless_pod_certifies_with_no_spine_groups():
+    topo = _bipartite_pod(complete=True)
+    cert = certify(topo, UpDownElpProvider())
+    assert cert is not None
+    assert cert.spine_groups == ()
+    assert cert.pair_paths("T1", "T2") == (
+        ("T1", "L1", "T2"),
+        ("T1", "L2", "T2"),
+    )
+    assert cert.pair_paths("T1", "T1") == (("T1",),)
+
+
+def test_pair_paths_for_unknown_endpoint_is_empty():
+    cert = certify(clos3(SMALL), UpDownElpProvider())
+    assert cert is not None
+    assert cert.pair_paths("T1", "NOPE") == ()
+    assert cert.pair_paths("NOPE", "T1") == ()
+
+
+def test_closed_form_matches_provider_pair_by_pair():
+    topo = clos3(SMALL)
+    provider = UpDownElpProvider()
+    cert = certify(topo, provider)
+    assert cert is not None
+    tors = sorted(topo.switches_at_layer(0))
+    total = 0
+    for src in tors:
+        for dst in tors:
+            expected = provider.pair_paths(topo, src, dst)
+            assert cert.pair_paths(src, dst) == expected
+            if src != dst:
+                total += len(expected)
+    assert cert.path_count() == total
+
+
+def test_orbit_decomposition_is_consistent():
+    cert = certify(clos3(SMALL), UpDownElpProvider())
+    assert cert is not None
+    orbits = cert.orbit_decomposition()
+    assert orbits["pod_count"] == SMALL.num_pods
+    assert orbits["total_paths"] == cert.path_count()
+    assert (
+        orbits["intra_pod_paths"] + orbits["cross_pod_paths"]
+        == orbits["total_paths"]
+    )
+    # Both pods are isomorphic: one equivalence class covering them all.
+    assert len(orbits["pod_classes"]) == 1
+    assert orbits["pod_classes"][0]["pods"] == [0, 1]

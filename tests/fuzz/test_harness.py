@@ -20,7 +20,7 @@ def test_smoke_run_is_clean():
     )
     assert report.ok, report.violations
     assert report.iterations_run == 15
-    assert report.invariant_checks == 15 * 16
+    assert report.invariant_checks == 15 * 17
     # Several topology kinds must actually be exercised.
     assert len(report.scenarios_by_kind) >= 2
     # The report must be JSON-serializable (CI consumes it).
