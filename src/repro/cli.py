@@ -14,6 +14,10 @@ Usage (also available as ``python -m repro``)::
     # Statically certify the compiled artifact (rules, TCAM, queues).
     repro-tagger lint plan.json --json lint-report.json
 
+    # Statically certify the codebase itself (determinism, observer
+    # purity, fork safety, exit-code discipline — docs/SELFCHECK.md).
+    repro-tagger selfcheck --strict --json selfcheck-report.json
+
     # Run the Fig. 10 deadlock demo in the simulator.
     repro-tagger demo fig10
 """
@@ -46,14 +50,17 @@ from repro.topology import ClosParams, Topology, clos3, jellyfish
 # Exit codes — uniform across every subcommand (see docs/DEPLOYMENT.md):
 #   0  success
 #   1  error, divergence, unsafe plan, escaped injected fault
-#   2  completed with warnings (lint --strict leftovers, demo deadlock,
-#      degraded rollout with quarantined switches)
-#   3  rollout rolled back to the previous certified plan
+#   2  completed with warnings (lint/selfcheck --strict leftovers, demo
+#      deadlock, degraded rollout with quarantined switches)
+#   3  rollout rolled back to the previous certified plan; for
+#      selfcheck, the allowlist itself failed certification (stale or
+#      unjustified audited exceptions)
 # ----------------------------------------------------------------------
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_WARNINGS = 2
 EXIT_ROLLED_BACK = 3
+EXIT_INTEGRITY = 3
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +261,52 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.strict and report.warnings:
         return EXIT_WARNINGS
     return EXIT_OK
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Static self-certification of the codebase's own invariants.
+
+    Walks ``src/repro/**`` with the :mod:`repro.devcheck` analyzer
+    (DET determinism, PUR observer purity, FRK fork safety, CLI
+    exit-code discipline). Exit codes: 0 clean, 1 unallowlisted
+    errors, 2 with ``--strict`` when warnings remain, 3 when the
+    allowlist itself fails certification (stale/unjustified entries).
+    """
+    from pathlib import Path
+
+    from repro.devcheck import (
+        AllowlistError,
+        run_selfcheck,
+        severity_exit_code,
+    )
+
+    try:
+        report = run_selfcheck(
+            root=Path(args.root) if args.root else None,
+            allowlist_path=Path(args.allowlist) if args.allowlist else None,
+        )
+    except AllowlistError as exc:
+        print(f"allowlist integrity failure: {exc}", file=sys.stderr)
+        return EXIT_INTEGRITY
+    print(report.render_text())
+    telemetry = _make_telemetry(args)
+    if telemetry is not None:
+        from repro.obs import observe_selfcheck
+
+        observe_selfcheck(telemetry, report)
+    if args.json:
+        blob = report.to_dict()
+        if telemetry is not None:
+            blob["telemetry"] = telemetry.snapshot()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
+        print(f"machine-readable report written to {args.json}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.render_text() + "\n")
+        print(f"text report written to {args.out}")
+    _export_telemetry(args, telemetry)
+    return severity_exit_code(report, strict=args.strict)
 
 
 def _parse_delta(spec: str) -> "TopologyDelta":
@@ -830,6 +883,46 @@ def make_parser() -> argparse.ArgumentParser:
         help="exit non-zero on warnings as well as errors",
     )
     lint.set_defaults(func=cmd_lint)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="statically certify the codebase's determinism/purity/"
+        "fork-safety/exit-code invariants",
+    )
+    selfcheck.add_argument(
+        "--root",
+        type=str,
+        default=None,
+        help="package directory to analyze (default: the installed "
+        "repro package)",
+    )
+    selfcheck.add_argument(
+        "--allowlist",
+        type=str,
+        default=None,
+        help="audited-exception file (default: the committed "
+        "src/repro/devcheck/allowlist.json)",
+    )
+    selfcheck.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="write the machine-readable findings report here",
+    )
+    selfcheck.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the rendered text report here (in addition to "
+        "stdout)",
+    )
+    selfcheck.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    add_telemetry_arg(selfcheck)
+    selfcheck.set_defaults(func=cmd_selfcheck)
 
     replan = sub.add_parser(
         "replan",

@@ -75,7 +75,11 @@ def mixed_tables(old: Tables, new: Tables, updated: Set[str]) -> Tables:
     packets demote via the safeguard — safe by construction).
     """
     tables: Tables = {}
-    for switch in set(old) | set(new):
+    # Sorted so the mixed table set (and everything downstream of its
+    # insertion order: wave reports, lint rendering, union-graph edge
+    # order) is independent of hash seeding — pinned by
+    # tests/deploy/test_verifier.py::test_mixed_tables_order_pinned.
+    for switch in sorted(set(old) | set(new)):
         source = new if switch in updated else old
         table = source.get(switch)
         if table is not None:

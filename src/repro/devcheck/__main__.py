@@ -1,0 +1,12 @@
+"""``python -m repro.devcheck`` — alias for ``repro-tagger selfcheck``.
+
+Delegates to the CLI subcommand so flags, exit codes and error
+handling stay identical between the two entry points.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main(["selfcheck", *sys.argv[1:]]))

@@ -1,0 +1,177 @@
+"""Audited-exception allowlist for the self-check.
+
+Some findings are legitimate after human audit — the planner's stage
+timers read ``perf_counter`` for observability that never feeds plan
+bytes. Those exceptions live in one committed JSON file
+(``src/repro/devcheck/allowlist.json``) whose entries are themselves
+certified:
+
+- every entry **must** carry a non-empty ``justification`` string;
+- every entry **must** match at least one current finding — an entry
+  whose finding vanished is *stale* and fails the run (exit 3), so the
+  allowlist can only ever shrink to fit the code;
+- entries match on ``(code, module, symbol)`` — line numbers are
+  deliberately not part of the key, so unrelated edits to a file do
+  not churn the allowlist.
+
+A malformed file (unreadable, not JSON) surfaces as ``OSError`` /
+``json.JSONDecodeError`` to the CLI's standard handlers (exit 1);
+*semantic* problems — stale or unjustified entries — are
+:class:`AllowlistError`, the integrity failure the CLI maps to exit 3.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.devcheck.diagnostics import CATALOG, Finding
+from repro.exceptions import ReproError
+
+#: Default committed allowlist, resolved relative to this package.
+DEFAULT_ALLOWLIST = Path(__file__).resolve().parent / "allowlist.json"
+
+
+class AllowlistError(ReproError):
+    """The allowlist itself fails certification (stale/unjustified)."""
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One audited exception."""
+
+    code: str
+    module: str
+    justification: str
+    symbol: Optional[str] = None
+
+    def key(self) -> Tuple[str, str, Optional[str]]:
+        return (self.code, self.module, self.symbol)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.code == self.code
+            and finding.module == self.module
+            and (self.symbol is None or finding.symbol == self.symbol)
+        )
+
+    def describe(self) -> str:
+        anchor = self.module if self.symbol is None else (
+            f"{self.module}:{self.symbol}"
+        )
+        return f"{self.code} @ {anchor}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "module": self.module,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+def _entry_from_dict(index: int, blob: Any) -> AllowlistEntry:
+    if not isinstance(blob, dict):
+        raise AllowlistError(f"allowlist entry #{index} is not an object")
+    code = blob.get("code")
+    module = blob.get("module")
+    symbol = blob.get("symbol")
+    justification = blob.get("justification")
+    if not isinstance(code, str) or code not in CATALOG:
+        raise AllowlistError(
+            f"allowlist entry #{index} has unknown code {code!r}"
+        )
+    if not isinstance(module, str) or not module:
+        raise AllowlistError(
+            f"allowlist entry #{index} ({code}) is missing a module"
+        )
+    if symbol is not None and not isinstance(symbol, str):
+        raise AllowlistError(
+            f"allowlist entry #{index} ({code}) has a non-string symbol"
+        )
+    if not isinstance(justification, str) or not justification.strip():
+        raise AllowlistError(
+            f"allowlist entry #{index} ({code} @ {module}) has no "
+            f"justification; every audited exception must say why"
+        )
+    extra = sorted(set(blob) - {"code", "module", "symbol", "justification"})
+    if extra:
+        raise AllowlistError(
+            f"allowlist entry #{index} ({code} @ {module}) has unknown "
+            f"key(s): {', '.join(extra)}"
+        )
+    return AllowlistEntry(
+        code=code, module=module, symbol=symbol, justification=justification
+    )
+
+
+def load_allowlist(path: Path) -> List[AllowlistEntry]:
+    """Parse and structurally validate an allowlist file.
+
+    I/O and JSON-syntax failures propagate as ``OSError`` /
+    ``json.JSONDecodeError`` (the CLI's standard exit-1 paths);
+    structural problems raise :class:`AllowlistError`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        blob = json.load(handle)
+    if not isinstance(blob, dict) or "entries" not in blob:
+        raise AllowlistError(
+            f"{path}: allowlist must be an object with an 'entries' list"
+        )
+    entries_blob = blob["entries"]
+    if not isinstance(entries_blob, list):
+        raise AllowlistError(f"{path}: 'entries' must be a list")
+    entries = [
+        _entry_from_dict(index, entry)
+        for index, entry in enumerate(entries_blob)
+    ]
+    seen: Dict[Tuple[str, str, Optional[str]], int] = {}
+    for index, entry in enumerate(entries):
+        if entry.key() in seen:
+            raise AllowlistError(
+                f"{path}: duplicate allowlist entry {entry.describe()} "
+                f"(#{seen[entry.key()]} and #{index})"
+            )
+        seen[entry.key()] = index
+    return entries
+
+
+def apply_allowlist(
+    findings: List[Finding], entries: List[AllowlistEntry]
+) -> Tuple[List[Finding], List[AllowlistEntry]]:
+    """Mark findings matched by entries; return (findings, stale).
+
+    The returned findings list preserves order; matched findings are
+    replaced with ``allowlisted=True`` copies. Entries that matched
+    nothing come back as ``stale`` — the caller fails the run on them.
+    """
+    matched = [False] * len(entries)
+    result: List[Finding] = []
+    for finding in findings:
+        hit = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                matched[index] = True
+                hit = True
+        if hit:
+            result.append(
+                Finding(
+                    code=finding.code,
+                    severity=finding.severity,
+                    message=finding.message,
+                    module=finding.module,
+                    line=finding.line,
+                    symbol=finding.symbol,
+                    allowlisted=True,
+                )
+            )
+        else:
+            result.append(finding)
+    stale = [
+        entry
+        for index, entry in enumerate(entries)
+        if not matched[index]
+    ]
+    return result, stale

@@ -1,0 +1,212 @@
+"""CLI family: exit-code discipline checks.
+
+The CLI's exit codes are a CI contract shared by every subcommand
+(``repro.cli``): ``0`` success, ``1`` error, ``2`` completed with
+warnings, ``3`` rolled back / integrity failure. Two shapes break the
+contract silently:
+
+- ``sys.exit("message")`` — Python prints the string and exits **1**,
+  turning a diagnostic into an undocumented failure path (CLI301);
+- a ``cmd_*`` subcommand handler returning something other than a
+  documented code (CLI302/CLI303) — ``main`` passes handler returns
+  straight to the caller, so an accidental ``return None`` becomes
+  exit 0 and an integer typo becomes a meaningless status.
+
+Allowed return shapes in handlers: integer literals 0..3, ``EXIT_*``
+constants, calls to ``*exit_code*`` helpers, other ``cmd_*`` handlers,
+and conditional expressions over those. Anything else is flagged —
+as an error when provably undocumented, as a warning when merely
+unprovable (audit it, then refactor onto an ``EXIT_*`` constant or
+allowlist it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from repro.devcheck.diagnostics import Finding
+from repro.devcheck.sources import BaseChecker, ImportMap, ModuleSource
+
+#: Documented process exit codes (see repro/cli.py's header block).
+DOCUMENTED_CODES = (0, 1, 2, 3)
+
+_EXIT_NAME = re.compile(r"^EXIT_[A-Z_]+$")
+_EXIT_HELPER = re.compile(r"(^|_)exit_code(s)?($|_)|^cmd_")
+
+#: Handler naming convention the CLI follows for subcommand handlers.
+_HANDLER_NAME = re.compile(r"^cmd_")
+
+
+def _is_exit_call(imports: ImportMap, node: ast.Call) -> bool:
+    resolved = imports.resolve(node.func)
+    return resolved in ("sys.exit", "os._exit")
+
+
+class _ReturnShape:
+    """Classification of one handler return expression."""
+
+    OK = "ok"
+    BAD = "bad"
+    UNKNOWN = "unknown"
+
+
+def _classify_exit_expr(node: Optional[ast.expr]) -> str:
+    """Is this expression a documented exit code?"""
+    if node is None:
+        return _ReturnShape.BAD  # bare return -> None -> exit 0 by luck
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, int):
+            return _ReturnShape.BAD
+        return (
+            _ReturnShape.OK
+            if value in DOCUMENTED_CODES
+            else _ReturnShape.BAD
+        )
+    if isinstance(node, ast.Name):
+        return (
+            _ReturnShape.OK
+            if _EXIT_NAME.match(node.id)
+            else _ReturnShape.UNKNOWN
+        )
+    if isinstance(node, ast.Attribute):
+        return (
+            _ReturnShape.OK
+            if _EXIT_NAME.match(node.attr)
+            else _ReturnShape.UNKNOWN
+        )
+    if isinstance(node, ast.Call):
+        name: Optional[str] = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name is not None and _EXIT_HELPER.search(name):
+            return _ReturnShape.OK
+        return _ReturnShape.UNKNOWN
+    if isinstance(node, ast.IfExp):
+        shapes = {
+            _classify_exit_expr(node.body),
+            _classify_exit_expr(node.orelse),
+        }
+        if _ReturnShape.BAD in shapes:
+            return _ReturnShape.BAD
+        if _ReturnShape.UNKNOWN in shapes:
+            return _ReturnShape.UNKNOWN
+        return _ReturnShape.OK
+    if isinstance(node, (ast.JoinedStr, ast.BinOp)):
+        return _ReturnShape.BAD
+    return _ReturnShape.UNKNOWN
+
+
+class CliDisciplineChecker(BaseChecker):
+    """AST visitor emitting the CLI family."""
+
+    def __init__(self, unit: ModuleSource, imports: ImportMap) -> None:
+        super().__init__(unit, imports)
+        self._handler_depth = 0
+
+    # ------------------------------------------------------------------
+    # CLI301: sys.exit / SystemExit payloads
+    # ------------------------------------------------------------------
+    def _check_exit_payload(self, node: ast.AST, payload: ast.expr) -> None:
+        if isinstance(payload, ast.Constant):
+            value = payload.value
+            if isinstance(value, str):
+                self.add(
+                    "CLI301",
+                    f"exit with a message string {value!r}: Python "
+                    f"exits 1 and prints to stderr; print the "
+                    f"diagnostic and return a documented code",
+                    node,
+                )
+                return
+            if isinstance(value, bool) or (
+                isinstance(value, int) and value not in DOCUMENTED_CODES
+            ):
+                self.add(
+                    "CLI301",
+                    f"exit code {value!r} is outside the documented "
+                    f"0/1/2/3 contract",
+                    node,
+                )
+                return
+            if not isinstance(value, (int, type(None))):
+                self.add(
+                    "CLI301",
+                    f"exit payload {value!r} is not an integer code",
+                    node,
+                )
+            return
+        if isinstance(payload, (ast.JoinedStr, ast.BinOp)):
+            self.add(
+                "CLI301",
+                "exit with a computed message: Python exits 1 and "
+                "prints to stderr; print the diagnostic and return a "
+                "documented code",
+                node,
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_exit_call(self.imports, node) and node.args:
+            self._check_exit_payload(node, node.args[0])
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if (
+            isinstance(exc, ast.Call)
+            and isinstance(exc.func, ast.Name)
+            and exc.func.id == "SystemExit"
+            and exc.args
+        ):
+            self._check_exit_payload(node, exc.args[0])
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # CLI302/CLI303: cmd_* handler returns
+    # ------------------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        is_handler = bool(_HANDLER_NAME.match(node.name))
+        saved = self._handler_depth
+        # A nested helper inside a handler has its own return contract;
+        # only the handler's own return statements are checked.
+        self._handler_depth = saved + 1 if is_handler else 0
+        try:
+            self._visit_scoped(node, node.name)
+        finally:
+            self._handler_depth = saved
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if self._handler_depth > 0:
+            shape = _classify_exit_expr(node.value)
+            if shape == _ReturnShape.BAD:
+                self.add(
+                    "CLI302",
+                    "subcommand handler returns a value outside the "
+                    "documented 0/1/2/3 exit-code contract",
+                    node,
+                )
+            elif shape == _ReturnShape.UNKNOWN:
+                self.add(
+                    "CLI303",
+                    "subcommand handler return cannot be resolved to a "
+                    "documented exit code; use an EXIT_* constant or a "
+                    "*exit_code* helper",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda inside a handler is not the handler's return path.
+        return
+
+
+def check_cli_discipline(unit: ModuleSource) -> List[Finding]:
+    """Run the CLI family over one module."""
+    return CliDisciplineChecker(unit, ImportMap(unit.tree)).run()

@@ -1,0 +1,241 @@
+"""DET family: determinism checks.
+
+Certifies, statically, what the equivalence suites sample dynamically:
+plan bytes, fuzz verdicts and simulator traces must be pure functions
+of their seeded inputs. Three leak shapes are recognized:
+
+- **clock/entropy reads** (DET001/DET005) and **unseeded RNG**
+  (DET002), scoped to the deterministic packages
+  (:data:`RESTRICTED_PREFIXES`) — the CLI and perf harnesses may time
+  things; the planner may not;
+- **unordered iteration** (DET003): a syntactic set value (``set(...)``
+  call, set literal/comprehension, set algebra like
+  ``set(a) | set(b)``) feeding an ordered construct — a ``for`` loop,
+  an ordered comprehension, ``list()``/``tuple()``/``enumerate()``,
+  ``str.join`` — anywhere in the tree, unless wrapped in
+  ``sorted(...)`` (or another order-insensitive consumer, which simply
+  never *is* an ordered construct);
+- **builtin hash ordering** (DET004): any bare ``hash(...)`` call —
+  str hashes are salted per process.
+
+The checker is syntactic by design: it cannot see a set flowing through
+a variable (``s = set(x)`` then ``for v in s``). The convention the
+codebase follows — and the fixture tests pin — is to sort at the
+construction site, which is exactly what the checker can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from repro.devcheck.diagnostics import Finding
+from repro.devcheck.sources import BaseChecker, ImportMap, ModuleSource
+
+#: Packages whose code must be deterministic end to end.
+RESTRICTED_PREFIXES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.simulator",
+    "repro.fuzz",
+    "repro.deploy",
+)
+
+#: Wall-clock / entropy reads (DET001, error).
+CLOCK_ENTROPY_CALLS: Dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "os.getrandom": "OS entropy read",
+    "uuid.uuid1": "clock/MAC-derived UUID",
+    "uuid.uuid4": "entropy-derived UUID",
+    "secrets.token_bytes": "OS entropy read",
+    "secrets.token_hex": "OS entropy read",
+    "secrets.token_urlsafe": "OS entropy read",
+    "secrets.randbelow": "OS entropy read",
+    "secrets.choice": "OS entropy read",
+}
+
+#: Monotonic timing reads (DET005, warning — allowlist audited uses).
+TIMING_CALLS: Tuple[str, ...] = (
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+)
+
+#: Module-level RNG draws are unseeded by definition (DET002). A seeded
+#: ``random.Random(seed)`` instance is the sanctioned alternative.
+SEEDED_FACTORIES: Tuple[str, ...] = (
+    "random.Random",
+    "random.SystemRandom",  # still flagged below: entropy, never seeded
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+)
+
+#: Ordered single-argument consumers: feeding them a set is DET003.
+ORDERED_CONSUMERS: Tuple[str, ...] = ("list", "tuple", "enumerate", "iter", "reversed")
+
+#: Set-algebra operators that keep a BinOp unordered.
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Method names that produce a set from a set-ish receiver.
+_SET_METHODS = ("union", "intersection", "difference", "symmetric_difference")
+
+
+def is_unordered(node: ast.expr) -> bool:
+    """Is ``node`` syntactically an unordered (set-valued) expression?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return is_unordered(node.left) or is_unordered(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return is_unordered(func.value) or any(
+                is_unordered(arg) for arg in node.args
+            )
+    return False
+
+
+class DeterminismChecker(BaseChecker):
+    """AST visitor emitting the DET family."""
+
+    def __init__(self, unit: ModuleSource, imports: ImportMap) -> None:
+        super().__init__(unit, imports)
+        self.restricted = unit.module.startswith(RESTRICTED_PREFIXES)
+
+    # ------------------------------------------------------------------
+    # DET003 helpers
+    # ------------------------------------------------------------------
+    def _check_ordered_context(self, iterable: ast.expr, what: str) -> None:
+        if is_unordered(iterable):
+            self.add(
+                "DET003",
+                f"unordered set value feeds {what}; wrap the set in "
+                f"sorted(...) to pin the order",
+                iterable,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_ordered_context(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_ordered_context(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _check_generators(self, node: ast.expr, what: str) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_ordered_context(gen.iter, what)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_generators(node, "a list comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_generators(node, "a dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_generators(node, "a generator expression")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Unordered output: iterating a set into a set is order-safe,
+        # but nested expressions still need the walk.
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        self._check_ordered_context(node.value, "a *-unpacking")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Calls: DET001/DET002/DET004/DET005 + ordered consumers
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        if resolved is not None and self.restricted:
+            self._check_clock_and_rng(node, resolved)
+        # join/hash checks don't need a resolvable receiver (e.g. the
+        # ", ".join(...) idiom calls join on a literal).
+        self._check_consumers(node, resolved or "")
+        self.generic_visit(node)
+
+    def _check_clock_and_rng(self, node: ast.Call, resolved: str) -> None:
+        reason = CLOCK_ENTROPY_CALLS.get(resolved)
+        if reason is not None:
+            self.add(
+                "DET001",
+                f"{resolved}() is a {reason}; deterministic code must "
+                f"take inputs, not sample the environment",
+                node,
+            )
+            return
+        if resolved in TIMING_CALLS:
+            self.add(
+                "DET005",
+                f"{resolved}() reads a monotonic timer inside a "
+                f"deterministic package; audit and allowlist if this "
+                f"is observability-only",
+                node,
+            )
+            return
+        if resolved == "random.SystemRandom":
+            self.add(
+                "DET002",
+                "random.SystemRandom draws OS entropy and cannot be "
+                "seeded; use random.Random(seed)",
+                node,
+            )
+            return
+        if resolved in SEEDED_FACTORIES:
+            if not node.args and not node.keywords:
+                self.add(
+                    "DET002",
+                    f"{resolved}() without a seed falls back to OS "
+                    f"entropy; pass an explicit seed",
+                    node,
+                )
+            return
+        if resolved.startswith("random.") or resolved.startswith(
+            "numpy.random."
+        ):
+            self.add(
+                "DET002",
+                f"{resolved}() draws from the process-global RNG; use "
+                f"an explicitly seeded random.Random(seed) instance",
+                node,
+            )
+
+    def _check_consumers(self, node: ast.Call, resolved: str) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and resolved in ORDERED_CONSUMERS
+            and node.args
+        ):
+            self._check_ordered_context(node.args[0], f"{resolved}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+        ):
+            self._check_ordered_context(node.args[0], "str.join")
+        if isinstance(func, ast.Name) and func.id == "hash" and node.args:
+            self.add(
+                "DET004",
+                "builtin hash() is salted per process (PYTHONHASHSEED); "
+                "derive ordering/identity from the values themselves",
+                node,
+            )
+
+
+def check_determinism(unit: ModuleSource) -> List[Finding]:
+    """Run the DET family over one module."""
+    return DeterminismChecker(unit, ImportMap(unit.tree)).run()

@@ -1,0 +1,223 @@
+"""FRK family: fork-safety checks for pool-dispatched work.
+
+:mod:`repro.core.parallel` (and the multiprocessing sweep runners the
+roadmap plans) fan work out over forked pools. Fork boundaries have two
+classic failure shapes this checker certifies against:
+
+- **unpicklable work** (FRK201/FRK203): lambdas and nested functions
+  cannot be pickled, so dispatching them to a pool either crashes at
+  submit time or silently pins the code to the ``fork`` start method.
+  Work items must be module-level functions closing over nothing —
+  picklable by construction;
+- **fork-after-threads** (FRK202): forking a process that already
+  started threads clones locked locks into the child, a deadlock the
+  chaos suites cannot reliably reproduce.
+
+Dispatch sites are recognized syntactically: a ``.map``/``.submit``/
+``.apply``-style call on a receiver whose name contains ``pool`` or
+``executor``. That convention is cheap to follow and makes the
+certificate possible without type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.devcheck.diagnostics import Finding
+from repro.devcheck.sources import BaseChecker, ImportMap, ModuleSource
+
+#: Pool/executor methods whose first argument is a dispatched callable.
+DISPATCH_METHODS: Tuple[str, ...] = (
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "apply",
+    "apply_async",
+    "starmap",
+    "starmap_async",
+    "submit",
+)
+
+#: Receiver-name fragments marking a dispatch receiver.
+_POOL_HINTS = ("pool", "executor")
+
+#: Fully-qualified constructors that create a (potentially forking) pool.
+_POOL_FACTORIES = (
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "concurrent.futures.ProcessPoolExecutor",
+)
+
+_THREAD_FACTORIES = ("threading.Thread", "threading.Timer")
+
+
+def _contains_lambda(node: ast.expr) -> bool:
+    return any(isinstance(child, ast.Lambda) for child in ast.walk(node))
+
+
+def _receiver_text(node: ast.expr) -> Optional[str]:
+    """Best-effort dotted text of a dispatch receiver."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ForkSafetyChecker(BaseChecker):
+    """AST visitor emitting the FRK family."""
+
+    def __init__(self, unit: ModuleSource, imports: ImportMap) -> None:
+        super().__init__(unit, imports)
+        self.module_level: Set[str] = {
+            node.name
+            for node in unit.tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        }
+        self.module_level.update(ImportMap(unit.tree).names)
+        # Per enclosing-function state.
+        self._nested_defs: List[Set[str]] = []
+        self._thread_started_line: List[Optional[int]] = []
+
+    # ------------------------------------------------------------------
+    # Function scoping: track nested defs + thread starts per function
+    # ------------------------------------------------------------------
+    def _enter_function(self, node: ast.AST, name: str) -> None:
+        nested: Set[str] = set()
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(child.name)
+        self._nested_defs.append(nested)
+        self._thread_started_line.append(None)
+        self._visit_scoped(node, name)
+        self._nested_defs.pop()
+        self._thread_started_line.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, node.name)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _is_pool_factory(self, node: ast.Call) -> bool:
+        resolved = self.imports.resolve(node.func)
+        if resolved in _POOL_FACTORIES:
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "Pool"
+        )
+
+    def _is_thread_start(self, node: ast.Call) -> bool:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "start"):
+            return False
+        # Direct form: threading.Thread(...).start()
+        if isinstance(func.value, ast.Call):
+            return self.imports.resolve(func.value.func) in _THREAD_FACTORIES
+        # Named form: t = threading.Thread(...); t.start() — assume any
+        # .start() in a module importing threading is a thread start.
+        return "threading" in self.imports.names.values()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._thread_started_line and self._is_thread_start(node):
+            if self._thread_started_line[-1] is None:
+                self._thread_started_line[-1] = node.lineno
+        if self._is_pool_factory(node):
+            started = (
+                self._thread_started_line[-1]
+                if self._thread_started_line
+                else None
+            )
+            if started is not None and node.lineno > started:
+                self.add(
+                    "FRK202",
+                    f"pool forked after a thread started on line "
+                    f"{started}; fork the pool first (or use spawn)",
+                    node,
+                )
+        self._check_dispatch(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Dispatch-site classification
+    # ------------------------------------------------------------------
+    def _check_dispatch(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in DISPATCH_METHODS:
+            return
+        receiver = _receiver_text(func.value)
+        if receiver is None:
+            return
+        base = receiver.split(".")[-1].lower()
+        if not any(hint in base for hint in _POOL_HINTS):
+            return
+        if not node.args:
+            return
+        self._classify_callable(node.args[0])
+        for extra in node.args[1:]:
+            if _contains_lambda(extra):
+                self.add(
+                    "FRK203",
+                    "pool dispatch ships an argument containing a "
+                    "lambda; closures cannot cross the fork/pickle "
+                    "boundary",
+                    extra,
+                )
+        for keyword in node.keywords:
+            if _contains_lambda(keyword.value):
+                self.add(
+                    "FRK203",
+                    f"pool dispatch keyword {keyword.arg!r} contains a "
+                    f"lambda; closures cannot cross the fork/pickle "
+                    f"boundary",
+                    keyword.value,
+                )
+
+    def _classify_callable(self, callable_expr: ast.expr) -> None:
+        if isinstance(callable_expr, ast.Lambda):
+            self.add(
+                "FRK201",
+                "lambda dispatched to a pool; hoist it to a "
+                "module-level function",
+                callable_expr,
+            )
+            return
+        if isinstance(callable_expr, ast.Name):
+            name = callable_expr.id
+            if any(name in nested for nested in self._nested_defs):
+                self.add(
+                    "FRK201",
+                    f"nested function {name!r} dispatched to a pool; "
+                    f"only module-level functions pickle by "
+                    f"construction",
+                    callable_expr,
+                )
+            return
+        if _contains_lambda(callable_expr):
+            self.add(
+                "FRK201",
+                "dispatched callable expression contains a lambda; "
+                "hoist the work item to a module-level function",
+                callable_expr,
+            )
+
+
+def check_fork_safety(unit: ModuleSource) -> List[Finding]:
+    """Run the FRK family over one module."""
+    return ForkSafetyChecker(unit, ImportMap(unit.tree)).run()

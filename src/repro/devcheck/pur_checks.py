@@ -1,0 +1,211 @@
+"""PUR family: observer-purity checks for the observability layer.
+
+``repro.obs`` (the bus, registry, telemetry facade, and the instrument
+hooks) sells a zero-perturbation guarantee: attaching telemetry to a
+simulation, planner, rollout or fuzz run must not change any observable
+behavior. ``tests/obs/test_zero_perturbation.py`` samples that promise
+dynamically; this checker enforces its static shape:
+
+- observed objects arrive as *parameters* — an observer function may
+  read them freely but never assign their attributes/items (PUR101) or
+  call known mutators on them (PUR102);
+- the bus/registry/telemetry sinks (parameters named ``bus``,
+  ``registry``, ``telemetry``, plus ``self``/``cls``) are the
+  observer's own state and may be written;
+- module globals are off-limits entirely (PUR103) — hidden globals
+  leak across runs and forked workers.
+
+Aliases are tracked one level deep: a local assigned from an observed
+object's attribute/subscript chain (``switch = net.switches[k]``) is
+itself observed; a local assigned from a *call* is a fresh value and
+is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple, Union
+
+from repro.devcheck.diagnostics import Finding
+from repro.devcheck.sources import (
+    BaseChecker,
+    ImportMap,
+    ModuleSource,
+    root_name,
+)
+
+#: Module prefix the PUR family applies to.
+OBSERVER_PREFIX = "repro.obs"
+
+#: Parameter names an observer is allowed to write through.
+ALLOWED_SINKS: Tuple[str, ...] = ("self", "cls", "bus", "registry", "telemetry")
+
+#: Method names that mutate their receiver.
+MUTATOR_METHODS: Tuple[str, ...] = (
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _param_names(node: FunctionNode) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+class _FunctionPurity(ast.NodeVisitor):
+    """Per-function walk with one-level alias tracking."""
+
+    def __init__(self, checker: "PurityChecker", node: FunctionNode) -> None:
+        self.checker = checker
+        self.observed: Set[str] = {
+            name
+            for name in _param_names(node)
+            if name not in ALLOWED_SINKS
+        }
+
+    def _observed_root(self, node: ast.expr) -> bool:
+        name = root_name(node)
+        return name is not None and name in self.observed
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+    def _check_store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            if self._observed_root(target):
+                self.checker.add(
+                    "PUR101",
+                    f"observer writes through observed object "
+                    f"{root_name(target)!r}; observers read, never "
+                    f"assign",
+                    target,
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element)
+
+    def _retaint(self, target: ast.expr, value: ast.expr) -> None:
+        """Track aliasing: rebind locals as observed or fresh."""
+        if not isinstance(target, ast.Name):
+            return
+        if isinstance(
+            value, (ast.Name, ast.Attribute, ast.Subscript)
+        ) and self._observed_root(value):
+            self.observed.add(target.id)
+        else:
+            self.observed.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+        for target in node.targets:
+            self._retaint(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+        if node.value is not None:
+            self._retaint(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        # Loop variables over an observed container are observed views.
+        self._retaint(node.target, node.iter)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Mutator calls and globals
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and self._observed_root(func.value)
+        ):
+            self.checker.add(
+                "PUR102",
+                f"observer calls mutator .{func.attr}() on observed "
+                f"object {root_name(func.value)!r}",
+                node,
+            )
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.checker.add(
+            "PUR103",
+            f"observer declares global {', '.join(node.names)}; "
+            f"observability state belongs on the bus/registry",
+            node,
+        )
+
+    # Nested functions get their own pass from the outer checker.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+class PurityChecker(BaseChecker):
+    """AST visitor emitting the PUR family over ``repro.obs``."""
+
+    def _check_function(self, node: FunctionNode) -> None:
+        walker = _FunctionPurity(self, node)
+        for statement in node.body:
+            walker.visit(statement)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope.append(node.name)
+        try:
+            self._check_function(node)
+            self.generic_visit(node)
+        finally:
+            self._scope.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scope.append(node.name)
+        try:
+            self._check_function(node)
+            self.generic_visit(node)
+        finally:
+            self._scope.pop()
+
+
+def check_purity(unit: ModuleSource) -> List[Finding]:
+    """Run the PUR family over one module (no-op outside repro.obs)."""
+    if not unit.module.startswith(OBSERVER_PREFIX):
+        return []
+    return PurityChecker(unit, ImportMap(unit.tree)).run()

@@ -17,6 +17,7 @@ from repro.obs.events import (
 from repro.obs.instrument import (
     derive_sim_counts,
     observe_plan,
+    observe_selfcheck,
     observe_timings,
     sample_queue_gauges,
     sim_metric_handles,
@@ -51,6 +52,7 @@ __all__ = [
     "event_kinds",
     "iter_jsonl",
     "observe_plan",
+    "observe_selfcheck",
     "observe_timings",
     "registry_from_aggregate",
     "sample_queue_gauges",

@@ -43,7 +43,7 @@ class TelemetryBus:
         self.capacity = capacity
         self.strict = strict
         self._ring: Deque[Event] = deque(maxlen=capacity)
-        self._counts: Counter = Counter()
+        self._counts: Counter[str] = Counter()
         self._total = 0
         self._subscribers: List[Subscriber] = []
 

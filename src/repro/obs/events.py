@@ -53,6 +53,10 @@ EV_DEPLOY_OUTCOME = "deploy.outcome"
 EV_FUZZ_SCENARIO = "fuzz.scenario"
 EV_FUZZ_VIOLATION = "fuzz.violation"
 
+# Repo self-check (static analyzer) ------------------------------------
+EV_SELFCHECK_FINDING = "selfcheck.finding"
+EV_SELFCHECK_RUN = "selfcheck.run"
+
 #: kind -> field names every event of that kind must carry. Extra
 #: fields are allowed (they must still be JSON scalars); missing
 #: required fields are a schema violation.
@@ -87,6 +91,8 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_DEPLOY_OUTCOME: ("outcome", "rpcs"),
     EV_FUZZ_SCENARIO: ("scenario", "scenario_kind"),
     EV_FUZZ_VIOLATION: ("scenario", "invariant"),
+    EV_SELFCHECK_FINDING: ("code", "module", "line", "allowlisted"),
+    EV_SELFCHECK_RUN: ("files", "findings", "errors", "warnings"),
 }
 
 #: Reserved JSONL keys an event field may not shadow.

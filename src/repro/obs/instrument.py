@@ -13,6 +13,8 @@ from collections import Counter as TallyCounter
 from typing import TYPE_CHECKING, Dict
 
 from repro.obs.events import (
+    EV_SELFCHECK_FINDING,
+    EV_SELFCHECK_RUN,
     EV_SIM_DELIVER,
     EV_SIM_DROP,
     EV_SIM_INJECT,
@@ -23,7 +25,9 @@ from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, no cycles
     from repro.core.planner import TaggerPlan
+    from repro.devcheck.diagnostics import SelfCheckReport
     from repro.obs.bus import TelemetryBus
+    from repro.obs.telemetry import Telemetry
     from repro.simulator.network import SimNetwork
 
 
@@ -100,6 +104,53 @@ def sample_queue_gauges(
     ).set(net.sim.total_events_run)
 
 
+def observe_selfcheck(
+    telemetry: "Telemetry", report: "SelfCheckReport"
+) -> None:
+    """Publish a self-check run as ``selfcheck_*`` counters + events.
+
+    Emitted in the report's stable (module, line, code) order with the
+    facade's default clock (0.0 when unbound): the static analyzer has
+    no domain clock, and its telemetry stream must itself be
+    deterministic — the analyzer certifies that very property.
+    """
+    registry = telemetry.registry
+    findings = registry.counter(
+        "selfcheck_findings_total",
+        "Self-check findings, by code and severity.",
+        labelnames=("code", "severity"),
+    )
+    allowlisted = registry.counter(
+        "selfcheck_allowlisted_total",
+        "Findings suppressed by audited allowlist entries.",
+    )
+    files = registry.counter(
+        "selfcheck_files_total", "Source files the self-check scanned."
+    )
+    files.inc(report.stats.get("files", 0))
+    for finding in report.findings:
+        telemetry.emit(
+            EV_SELFCHECK_FINDING,
+            code=finding.code,
+            module=finding.module,
+            line=finding.line,
+            allowlisted=finding.allowlisted,
+        )
+        if finding.allowlisted:
+            allowlisted.inc()
+        else:
+            findings.inc(
+                code=finding.code, severity=str(finding.severity)
+            )
+    telemetry.emit(
+        EV_SELFCHECK_RUN,
+        files=report.stats.get("files", 0),
+        findings=len(report.findings),
+        errors=len(report.errors),
+        warnings=len(report.warnings),
+    )
+
+
 # ----------------------------------------------------------------------
 # Bus-derived aggregates (reconciliation surface)
 # ----------------------------------------------------------------------
@@ -110,11 +161,11 @@ def derive_sim_counts(bus: "TelemetryBus") -> Dict[str, object]:
     above the event count (``bus.evicted == 0`` is asserted by the
     property test before comparing).
     """
-    injected: TallyCounter = TallyCounter()
-    delivered_packets: TallyCounter = TallyCounter()
-    delivered_bytes: TallyCounter = TallyCounter()
-    drops: TallyCounter = TallyCounter()
-    drops_per_flow: TallyCounter = TallyCounter()
+    injected: TallyCounter[object] = TallyCounter()
+    delivered_packets: TallyCounter[object] = TallyCounter()
+    delivered_bytes: TallyCounter[object] = TallyCounter()
+    drops: TallyCounter[object] = TallyCounter()
+    drops_per_flow: TallyCounter[object] = TallyCounter()
     pauses = 0
     resumes = 0
     for event in bus.events():

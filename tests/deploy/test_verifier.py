@@ -32,6 +32,31 @@ class TestMixedTables:
         mixed = mixed_tables(old, {}, {"A"})
         assert mixed == {}  # updated to a plan with no table for A
 
+    def test_mixed_tables_order_pinned(self, triangle):
+        """Insertion order is sorted, independent of input dict order.
+
+        Everything downstream of the mixed table set — wave reports,
+        lint rendering, union-graph edge order — inherits this order,
+        so it must not depend on hash seeding or the order the plans
+        happened to be built in (DET003 in docs/SELFCHECK.md).
+        """
+        rules = {
+            name: _loop_rule(triangle, name, peer)
+            for name, peer in (("A", "B"), ("B", "C"), ("C", "A"))
+        }
+        old = {name: rules[name] for name in ("C", "A")}  # scrambled
+        new = {name: rules[name] for name in ("B", "C", "A")}
+        for updated in (set(), {"B"}, {"A", "B", "C"}):
+            mixed = mixed_tables(old, new, updated)
+            assert list(mixed) == sorted(mixed)
+        # Switches only in `new` interleave into the same sorted order.
+        assert list(mixed_tables(old, new, set())) == ["A", "C"]
+        assert list(mixed_tables(old, new, {"A", "B", "C"})) == [
+            "A",
+            "B",
+            "C",
+        ]
+
 
 class TestQueueMap:
     def test_covers_both_plans(self, transition):

@@ -1,0 +1,37 @@
+"""Fixture helpers: compile source snippets into analysis units."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devcheck import ModuleSource
+
+
+def unit_from_source(source: str, module: str = "repro.core.fixture") -> ModuleSource:
+    """An in-memory ModuleSource from a dedented snippet."""
+    tree = ast.parse(textwrap.dedent(source))
+    return ModuleSource(
+        module=module, path=Path(f"{module.replace('.', '/')}.py"), tree=tree
+    )
+
+
+@pytest.fixture
+def make_unit():
+    return unit_from_source
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """Write {relpath: source} dicts as a package tree rooted at tmp."""
+
+    def build(files):
+        root = tmp_path / "repro"
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return root
+
+    return build

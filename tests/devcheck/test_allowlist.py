@@ -1,0 +1,175 @@
+"""Allowlist certification: round-trip, staleness, justification."""
+
+import json
+
+import pytest
+
+from repro.devcheck import (
+    DEFAULT_ALLOWLIST,
+    AllowlistEntry,
+    AllowlistError,
+    apply_allowlist,
+    load_allowlist,
+    make_finding,
+)
+
+
+def write_allowlist(tmp_path, entries):
+    path = tmp_path / "allowlist.json"
+    path.write_text(
+        json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+    )
+    return path
+
+
+GOOD_ENTRY = {
+    "code": "DET005",
+    "module": "repro.core.planner",
+    "symbol": "_timed_stream",
+    "justification": "observability-only timing",
+}
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = write_allowlist(tmp_path, [GOOD_ENTRY])
+        (entry,) = load_allowlist(path)
+        assert entry == AllowlistEntry(
+            code="DET005",
+            module="repro.core.planner",
+            symbol="_timed_stream",
+            justification="observability-only timing",
+        )
+        # Round-trip: to_dict reproduces the committed shape.
+        assert entry.to_dict() == GOOD_ENTRY
+
+    def test_missing_justification_rejected(self, tmp_path):
+        bad = dict(GOOD_ENTRY)
+        del bad["justification"]
+        path = write_allowlist(tmp_path, [bad])
+        with pytest.raises(AllowlistError, match="no\\s+justification"):
+            load_allowlist(path)
+
+    def test_blank_justification_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, [dict(GOOD_ENTRY, justification="  ")])
+        with pytest.raises(AllowlistError, match="justification"):
+            load_allowlist(path)
+
+    def test_unknown_code_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, [dict(GOOD_ENTRY, code="ZZZ999")])
+        with pytest.raises(AllowlistError, match="unknown code"):
+            load_allowlist(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, [dict(GOOD_ENTRY, line=66)])
+        with pytest.raises(AllowlistError, match="unknown\\s+key"):
+            load_allowlist(path)
+
+    def test_duplicate_entry_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, [GOOD_ENTRY, dict(GOOD_ENTRY)])
+        with pytest.raises(AllowlistError, match="duplicate"):
+            load_allowlist(path)
+
+    def test_missing_entries_key_rejected(self, tmp_path):
+        path = tmp_path / "allowlist.json"
+        path.write_text('{"version": 1}', encoding="utf-8")
+        with pytest.raises(AllowlistError, match="entries"):
+            load_allowlist(path)
+
+    def test_malformed_json_raises_decode_error(self, tmp_path):
+        path = tmp_path / "allowlist.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            load_allowlist(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_allowlist(tmp_path / "nope.json")
+
+
+class TestApply:
+    def finding(self, line=66, symbol="_timed_stream"):
+        return make_finding(
+            "DET005", "tick", "repro.core.planner", line, symbol=symbol
+        )
+
+    def entry(self, **overrides):
+        blob = dict(GOOD_ENTRY, **overrides)
+        return AllowlistEntry(
+            code=blob["code"],
+            module=blob["module"],
+            symbol=blob["symbol"],
+            justification=blob["justification"],
+        )
+
+    def test_match_marks_allowlisted(self):
+        findings, stale = apply_allowlist([self.finding()], [self.entry()])
+        assert not stale
+        assert findings[0].allowlisted
+
+    def test_match_ignores_line_numbers(self):
+        # Line numbers are deliberately not part of the key: the same
+        # entry keeps matching after unrelated edits shift the file.
+        findings, stale = apply_allowlist(
+            [self.finding(line=12), self.finding(line=900)], [self.entry()]
+        )
+        assert not stale
+        assert all(f.allowlisted for f in findings)
+
+    def test_symbolless_entry_matches_whole_module(self):
+        findings, stale = apply_allowlist(
+            [self.finding(symbol="a"), self.finding(symbol="b")],
+            [self.entry(symbol=None)],
+        )
+        assert not stale
+        assert all(f.allowlisted for f in findings)
+
+    def test_unmatched_entry_is_stale(self):
+        findings, stale = apply_allowlist(
+            [self.finding()], [self.entry(module="repro.core.gone")]
+        )
+        assert not findings[0].allowlisted
+        assert [e.describe() for e in stale] == [
+            "DET005 @ repro.core.gone:_timed_stream"
+        ]
+
+    def test_mismatched_code_does_not_match(self):
+        findings, stale = apply_allowlist(
+            [self.finding()], [self.entry(code="DET001")]
+        )
+        assert not findings[0].allowlisted
+        assert len(stale) == 1
+
+
+class TestCommittedAllowlist:
+    def test_committed_file_loads_and_is_justified(self):
+        entries = load_allowlist(DEFAULT_ALLOWLIST)
+        assert entries, "committed allowlist should not be empty"
+        for entry in entries:
+            # Justifications must be real sentences, not placeholders.
+            assert len(entry.justification) > 40
+
+
+class TestMalformedShapes:
+    def test_non_object_entry_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, ["not-an-object"])
+        with pytest.raises(AllowlistError, match="not an object"):
+            load_allowlist(path)
+
+    def test_missing_module_rejected(self, tmp_path):
+        bad = dict(GOOD_ENTRY)
+        del bad["module"]
+        path = write_allowlist(tmp_path, [bad])
+        with pytest.raises(AllowlistError, match="missing a module"):
+            load_allowlist(path)
+
+    def test_non_string_symbol_rejected(self, tmp_path):
+        path = write_allowlist(tmp_path, [dict(GOOD_ENTRY, symbol=7)])
+        with pytest.raises(AllowlistError, match="non-string symbol"):
+            load_allowlist(path)
+
+    def test_non_list_entries_rejected(self, tmp_path):
+        path = tmp_path / "allowlist.json"
+        path.write_text('{"version": 1, "entries": {}}', encoding="utf-8")
+        with pytest.raises(AllowlistError, match="must be a list"):
+            load_allowlist(path)

@@ -1,0 +1,262 @@
+"""CLI family: exit-code discipline."""
+
+from repro.devcheck import check_cli_discipline
+
+
+def codes(unit):
+    return sorted(f.code for f in check_cli_discipline(unit))
+
+
+class TestCli301ExitPayloads:
+    def test_sys_exit_with_string_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import sys
+
+            def bail():
+                sys.exit("bad config")
+            """
+        )
+        assert codes(unit) == ["CLI301"]
+
+    def test_sys_exit_with_fstring_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import sys
+
+            def bail(path):
+                sys.exit(f"cannot read {path}")
+            """
+        )
+        assert codes(unit) == ["CLI301"]
+
+    def test_sys_exit_undocumented_integer_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import sys
+
+            def bail():
+                sys.exit(42)
+            """
+        )
+        assert codes(unit) == ["CLI301"]
+
+    def test_raise_system_exit_string_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def bail():
+                raise SystemExit("nope")
+            """
+        )
+        assert codes(unit) == ["CLI301"]
+
+    def test_documented_exit_codes_clean(self, make_unit):
+        unit = make_unit(
+            """
+            import sys
+
+            def bail(code):
+                if code:
+                    sys.exit(1)
+                sys.exit(0)
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestCli302HandlerReturns:
+    def test_bare_return_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                if args.dry_run:
+                    return
+                return 0
+            """
+        )
+        assert codes(unit) == ["CLI302"]
+
+    def test_string_return_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return "done"
+            """
+        )
+        assert codes(unit) == ["CLI302"]
+
+    def test_undocumented_integer_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return 7
+            """
+        )
+        assert codes(unit) == ["CLI302"]
+
+    def test_documented_shapes_clean(self, make_unit):
+        unit = make_unit(
+            """
+            EXIT_ERRORS = 1
+
+            def severity_exit_code(report, strict):
+                return 0
+
+            def cmd_lint(args):
+                return severity_exit_code(None, args.strict)
+
+            def cmd_plan(args):
+                if args.bad:
+                    return EXIT_ERRORS
+                return 0 if args.ok else 2
+            """
+        )
+        assert codes(unit) == []
+
+    def test_delegating_to_other_handler_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_check(args):
+                return 0
+
+            def cmd_selfcheck(args):
+                return cmd_check(args)
+            """
+        )
+        assert codes(unit) == []
+
+    def test_nested_helper_return_not_flagged(self, make_unit):
+        # A nested non-handler helper has its own return contract.
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                def describe():
+                    return "plan summary"
+                print(describe())
+                return 0
+            """
+        )
+        assert codes(unit) == []
+
+    def test_non_handler_function_not_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def summarize(report):
+                return "ok"
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestCli303UnprovableReturns:
+    def test_opaque_call_warns(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return run_everything(args)
+            """
+        )
+        findings = check_cli_discipline(unit)
+        assert [f.code for f in findings] == ["CLI303"]
+        assert str(findings[0].severity) == "warning"
+
+    def test_opaque_name_warns(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                result = 0
+                return result
+            """
+        )
+        assert codes(unit) == ["CLI303"]
+
+
+class TestClassifierEdges:
+    def test_exit_constant_attribute_ok(self, make_unit):
+        unit = make_unit(
+            """
+            import repro.cli as cli
+
+            def cmd_plan(args):
+                return cli.EXIT_OK
+            """
+        )
+        assert codes(unit) == []
+
+    def test_opaque_attribute_warns(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return args.code
+            """
+        )
+        assert codes(unit) == ["CLI303"]
+
+    def test_exit_code_helper_method_ok(self, make_unit):
+        unit = make_unit(
+            """
+            from repro.devcheck import runner
+
+            def cmd_check(args):
+                return runner.severity_exit_code(None, args.strict)
+            """
+        )
+        assert codes(unit) == []
+
+    def test_conditional_with_bad_branch_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return 0 if args.ok else "failed"
+            """
+        )
+        assert codes(unit) == ["CLI302"]
+
+    def test_conditional_with_unknown_branch_warns(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return 0 if args.ok else compute(args)
+            """
+        )
+        assert codes(unit) == ["CLI303"]
+
+    def test_arithmetic_return_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                return 1 + 1
+            """
+        )
+        assert codes(unit) == ["CLI302"]
+
+    def test_float_exit_payload_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import sys
+
+            def bail():
+                sys.exit(1.5)
+            """
+        )
+        assert codes(unit) == ["CLI301"]
+
+    def test_lambda_body_is_not_a_return_path(self, make_unit):
+        unit = make_unit(
+            """
+            def cmd_plan(args):
+                key = lambda item: item.name
+                print(sorted(args.items, key=key))
+                return 0
+            """
+        )
+        assert codes(unit) == []
+
+    def test_async_handler_checked(self, make_unit):
+        unit = make_unit(
+            """
+            async def cmd_watch(args):
+                return "never"
+            """
+        )
+        assert codes(unit) == ["CLI302"]

@@ -1,0 +1,333 @@
+"""DET family: each code catches its seeded violation, passes its clean twin."""
+
+import pytest
+
+from repro.devcheck import check_determinism
+from repro.devcheck.det_checks import RESTRICTED_PREFIXES
+
+
+def codes(unit):
+    return sorted(f.code for f in check_determinism(unit))
+
+
+class TestDet001ClockEntropy:
+    def test_time_time_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert codes(unit) == ["DET001"]
+
+    def test_aliased_from_import_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            from time import time as now
+
+            def stamp():
+                return now()
+            """
+        )
+        assert codes(unit) == ["DET001"]
+
+    def test_datetime_now_flagged_via_from_import(self, make_unit):
+        unit = make_unit(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        )
+        assert codes(unit) == ["DET001"]
+
+    def test_os_urandom_and_uuid4_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import os
+            import uuid
+
+            def token():
+                return os.urandom(8), uuid.uuid4()
+            """
+        )
+        assert codes(unit) == ["DET001", "DET001"]
+
+    def test_clean_clock_free_module(self, make_unit):
+        unit = make_unit(
+            """
+            def stamp(clock):
+                return clock()
+            """
+        )
+        assert codes(unit) == []
+
+    def test_unrestricted_package_not_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module="repro.perf.fixture",
+        )
+        assert codes(unit) == []
+
+
+class TestDet002UnseededRng:
+    def test_module_level_random_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert codes(unit) == ["DET002"]
+
+    def test_unseeded_random_instance_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import random
+
+            def rng():
+                return random.Random()
+            """
+        )
+        assert codes(unit) == ["DET002"]
+
+    def test_seeded_random_instance_clean(self, make_unit):
+        # The DET fixture the issue requires: re-seeding correctly
+        # with random.Random(seed) must pass clean.
+        unit = make_unit(
+            """
+            import random
+
+            def shuffled(items, seed):
+                rng = random.Random(seed)
+                out = list(items)
+                rng.shuffle(out)
+                return out
+            """
+        )
+        assert codes(unit) == []
+
+    def test_system_random_flagged_even_seeded(self, make_unit):
+        unit = make_unit(
+            """
+            import random
+
+            def rng():
+                return random.SystemRandom()
+            """
+        )
+        assert codes(unit) == ["DET002"]
+
+    def test_numpy_module_level_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """
+        )
+        assert codes(unit) == ["DET002"]
+
+    def test_numpy_default_rng_seeded_clean(self, make_unit):
+        unit = make_unit(
+            """
+            import numpy as np
+
+            def noise(n, seed):
+                return np.random.default_rng(seed).random(n)
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestDet003UnorderedIteration:
+    def test_for_over_set_union_flagged(self, make_unit):
+        # The exact shape fixed in repro.deploy.verifier:mixed_tables.
+        unit = make_unit(
+            """
+            def merge(old, new):
+                out = {}
+                for switch in set(old) | set(new):
+                    out[switch] = switch
+                return out
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_sorted_suppresses(self, make_unit):
+        unit = make_unit(
+            """
+            def merge(old, new):
+                out = {}
+                for switch in sorted(set(old) | set(new)):
+                    out[switch] = switch
+                return out
+            """
+        )
+        assert codes(unit) == []
+
+    def test_list_of_set_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def dedupe(items):
+                return list(set(items))
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_list_of_sorted_set_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def dedupe(items):
+                return list(sorted(set(items)))
+            """
+        )
+        assert codes(unit) == []
+
+    def test_join_over_set_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def render(names):
+                return ", ".join(set(names))
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_comprehension_over_set_literal_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def explode(a, b, c):
+                return [x * 2 for x in {a, b, c}]
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_set_comprehension_output_clean(self, make_unit):
+        # set -> set never materializes an order.
+        unit = make_unit(
+            """
+            def upper(names):
+                return {n.upper() for n in set(names)}
+            """
+        )
+        assert codes(unit) == []
+
+    def test_star_unpack_of_set_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def tail(items):
+                return [0, *set(items)]
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_membership_and_len_clean(self, make_unit):
+        # Order-insensitive consumers are not iteration contexts.
+        unit = make_unit(
+            """
+            def stats(old, new):
+                union = set(old) | set(new)
+                return len(set(old) & set(new)), "x" in set(new), union
+            """
+        )
+        assert codes(unit) == []
+
+    def test_method_union_flagged_when_iterated(self, make_unit):
+        unit = make_unit(
+            """
+            def merge(old, new):
+                return list(set(old).union(new))
+            """
+        )
+        assert codes(unit) == ["DET003"]
+
+    def test_flagged_outside_restricted_packages_too(self, make_unit):
+        unit = make_unit(
+            """
+            def dedupe(items):
+                return list(set(items))
+            """,
+            module="repro.obs.fixture",
+        )
+        assert codes(unit) == ["DET003"]
+
+
+class TestDet004BuiltinHash:
+    def test_hash_call_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def order_key(name):
+                return hash(name)
+            """
+        )
+        assert codes(unit) == ["DET004"]
+
+    def test_object_dunder_hash_not_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def order_key(name):
+                return name.__hash__
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestDet005TimingReads:
+    @pytest.mark.parametrize("prefix", [p.split(".")[1] for p in RESTRICTED_PREFIXES])
+    def test_perf_counter_warns_in_each_restricted_package(
+        self, make_unit, prefix
+    ):
+        unit = make_unit(
+            """
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """,
+            module=f"repro.{prefix}.fixture",
+        )
+        findings = check_determinism(unit)
+        assert [f.code for f in findings] == ["DET005"]
+        assert str(findings[0].severity) == "warning"
+
+    def test_perf_counter_clean_in_perf_package(self, make_unit):
+        unit = make_unit(
+            """
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """,
+            module="repro.perf.timing",
+        )
+        assert codes(unit) == []
+
+
+class TestAnchors:
+    def test_findings_carry_module_line_symbol(self, make_unit):
+        unit = make_unit(
+            """
+            import time
+
+
+            class Engine:
+                def tick(self):
+                    return time.time()
+            """
+        )
+        (finding,) = check_determinism(unit)
+        assert finding.module == "repro.core.fixture"
+        assert finding.symbol == "Engine.tick"
+        assert finding.line == 7
+        assert "repro.core.fixture:7 in Engine.tick" in finding.render()

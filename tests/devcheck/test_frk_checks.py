@@ -1,0 +1,229 @@
+"""FRK family: fork-safety of pool-dispatched work."""
+
+from repro.devcheck import check_fork_safety
+
+
+def codes(unit):
+    return sorted(f.code for f in check_fork_safety(unit))
+
+
+class TestFrk201UnpicklableWork:
+    def test_lambda_submission_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def run(pool, items):
+                return pool.map(lambda x: x * 2, items)
+            """
+        )
+        assert codes(unit) == ["FRK201"]
+
+    def test_nested_function_submission_flagged(self, make_unit):
+        # The satellite's named edge case: a def inside the dispatching
+        # function cannot pickle.
+        unit = make_unit(
+            """
+            def run(pool, items):
+                def work(item):
+                    return item * 2
+                return pool.map(work, items)
+            """
+        )
+        assert codes(unit) == ["FRK201"]
+
+    def test_deeply_nested_function_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def run(pool, items):
+                def make():
+                    def work(item):
+                        return item * 2
+                    return work
+                return pool.submit(work)
+            """
+        )
+        assert codes(unit) == ["FRK201"]
+
+    def test_module_level_function_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def work(item):
+                return item * 2
+
+            def run(pool, items):
+                return pool.map(work, items)
+            """
+        )
+        assert codes(unit) == []
+
+    def test_imported_function_clean(self, make_unit):
+        unit = make_unit(
+            """
+            from repro.core.planner import plan_one
+
+            def run(executor, scenarios):
+                return [executor.submit(plan_one, s) for s in scenarios]
+            """
+        )
+        assert codes(unit) == []
+
+    def test_lambda_in_callable_expression_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import functools
+
+            def run(pool, items, scale):
+                return pool.map(functools.partial(lambda x, s: x * s, s=scale), items)
+            """
+        )
+        assert codes(unit) == ["FRK201"]
+
+    def test_non_pool_receiver_ignored(self, make_unit):
+        # .map on something not named pool/executor is not a dispatch.
+        unit = make_unit(
+            """
+            def run(series, items):
+                return series.map(lambda x: x * 2)
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestFrk202ForkAfterThreads:
+    def test_pool_after_thread_start_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            import multiprocessing
+            import threading
+
+            def run(work):
+                watcher = threading.Thread(target=print)
+                watcher.start()
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(work, range(8))
+            """
+        )
+        assert codes(unit) == ["FRK202"]
+
+    def test_pool_before_thread_start_clean(self, make_unit):
+        unit = make_unit(
+            """
+            import multiprocessing
+            import threading
+
+            def run(work):
+                with multiprocessing.Pool(4) as pool:
+                    watcher = threading.Thread(target=print)
+                    watcher.start()
+                    return pool.map(work, range(8))
+            """
+        )
+        assert codes(unit) == []
+
+    def test_thread_in_other_function_clean(self, make_unit):
+        # Thread tracking is per enclosing function.
+        unit = make_unit(
+            """
+            import multiprocessing
+            import threading
+
+            def watch():
+                threading.Thread(target=print).start()
+
+            def run(work):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(work, range(8))
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestFrk203LambdaArguments:
+    def test_lambda_positional_argument_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def work(item, key):
+                return key(item)
+
+            def run(executor, item):
+                return executor.submit(work, item, lambda x: x.weight)
+            """
+        )
+        assert codes(unit) == ["FRK203"]
+
+    def test_lambda_keyword_argument_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def work(item, key=None):
+                return key(item)
+
+            def run(executor, item):
+                return executor.submit(work, item, key=lambda x: x.weight)
+            """
+        )
+        assert codes(unit) == ["FRK203"]
+
+    def test_plain_arguments_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def work(item, scale):
+                return item * scale
+
+            def run(executor, item):
+                return executor.submit(work, item, 2)
+            """
+        )
+        assert codes(unit) == []
+
+
+class TestEdges:
+    def test_dotted_pool_receiver_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def run(ctx, items):
+                return ctx.worker_pool.map(lambda x: x, items)
+            """
+        )
+        assert codes(unit) == ["FRK201"]
+
+    def test_call_result_receiver_not_matched(self, make_unit):
+        # A receiver that bottoms out in a call has no stable name.
+        unit = make_unit(
+            """
+            def run(make_pool, items):
+                return make_pool().map(lambda x: x, items)
+            """
+        )
+        assert codes(unit) == []
+
+    def test_dispatch_without_args_ignored(self, make_unit):
+        unit = make_unit(
+            """
+            def run(pool):
+                return pool.map()
+            """
+        )
+        assert codes(unit) == []
+
+    def test_module_level_pool_after_thread_not_tracked(self, make_unit):
+        # Thread/fork ordering is certified per function body only.
+        unit = make_unit(
+            """
+            import multiprocessing
+            import threading
+
+            threading.Thread(target=print).start()
+            POOL = multiprocessing.Pool(2)
+            """
+        )
+        assert codes(unit) == []
+
+    def test_async_function_dispatch_checked(self, make_unit):
+        unit = make_unit(
+            """
+            async def run(pool, items):
+                def work(item):
+                    return item
+                return pool.map(work, items)
+            """
+        )
+        assert codes(unit) == ["FRK201"]

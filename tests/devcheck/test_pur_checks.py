@@ -1,0 +1,234 @@
+"""PUR family: observer purity inside repro.obs."""
+
+from repro.devcheck import check_purity
+
+OBS = "repro.obs.fixture"
+
+
+def codes(unit):
+    return sorted(f.code for f in check_purity(unit))
+
+
+class TestPur101ObservedWrites:
+    def test_attribute_write_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_plan(telemetry, plan):
+                plan.observed = True
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_subscript_write_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_tables(bus, tables):
+                tables["x"] = None
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_aliased_write_flagged(self, make_unit):
+        # One-level alias taint: a local bound to an observed object's
+        # attribute chain is itself observed.
+        unit = make_unit(
+            """
+            def on_net(bus, net):
+                switch = net.switches[0]
+                switch.tag = 3
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_loop_variable_write_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_net(bus, net):
+                for switch in net.switches:
+                    switch.visited = True
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_call_result_breaks_taint(self, make_unit):
+        # A call returns a fresh value the observer owns.
+        unit = make_unit(
+            """
+            def on_net(bus, net):
+                snapshot = dict(net.tables)
+                snapshot["extra"] = 1
+                return snapshot
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+    def test_sink_writes_allowed(self, make_unit):
+        unit = make_unit(
+            """
+            def on_event(telemetry, bus, registry, event):
+                telemetry.count += 1
+                bus.last = event
+                registry.seen["k"] = event
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+    def test_self_writes_allowed_in_methods(self, make_unit):
+        unit = make_unit(
+            """
+            class Probe:
+                def observe(self, plan):
+                    self.last_plan_size = len(plan.rules)
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+    def test_augassign_through_observed_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_plan(bus, plan):
+                plan.hits += 1
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_delete_through_observed_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_tables(bus, tables):
+                del tables["x"]
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+
+class TestPur102MutatorCalls:
+    def test_append_on_observed_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            def on_trace(bus, trace):
+                trace.append("seen")
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR102"]
+
+    def test_mutator_on_own_state_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def on_trace(bus, trace):
+                copy = list(trace)
+                copy.append("seen")
+                bus.events.append(copy)
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+    def test_read_only_observer_clean(self, make_unit):
+        unit = make_unit(
+            """
+            def on_plan(telemetry, plan):
+                telemetry.emit("plan.size", len(plan.rules))
+                return sum(1 for r in plan.rules if r.tag > 0)
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+
+class TestPur103Globals:
+    def test_global_declaration_flagged(self, make_unit):
+        unit = make_unit(
+            """
+            _COUNT = 0
+
+            def on_event(bus, event):
+                global _COUNT
+                _COUNT += 1
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR103"]
+
+    def test_module_constant_read_clean(self, make_unit):
+        unit = make_unit(
+            """
+            LIMIT = 10
+
+            def on_event(bus, event):
+                return LIMIT
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []
+
+
+class TestScoping:
+    def test_noop_outside_obs(self, make_unit):
+        unit = make_unit(
+            """
+            def mutate(thing):
+                thing.x = 1
+                global STATE
+            """,
+            module="repro.core.fixture",
+        )
+        assert codes(unit) == []
+
+    def test_nested_function_checked_independently(self, make_unit):
+        # The nested def gets its own pass with its own parameters.
+        unit = make_unit(
+            """
+            def on_net(bus, net):
+                def inner(plan):
+                    plan.mark = 1
+                return inner
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+
+class TestEdges:
+    def test_vararg_and_kwarg_params_observed(self, make_unit):
+        unit = make_unit(
+            """
+            def on_many(bus, *plans, **extras):
+                plans[0].seen = True
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_async_observer_checked(self, make_unit):
+        unit = make_unit(
+            """
+            async def on_plan(bus, plan):
+                plan.seen = True
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == ["PUR101"]
+
+    def test_lambda_body_skipped_by_function_walk(self, make_unit):
+        # Lambdas can't contain statements, so the per-function walker
+        # has nothing to check inside them.
+        unit = make_unit(
+            """
+            def on_plan(bus, plan):
+                key = lambda rule: rule.tag
+                return sorted(plan.rules, key=key)
+            """,
+            module=OBS,
+        )
+        assert codes(unit) == []

@@ -13,7 +13,9 @@ class TestTaxonomy:
     def test_every_kind_is_namespaced(self):
         for kind in EVENT_SCHEMA:
             subsystem, _, action = kind.partition(".")
-            assert subsystem in ("sim", "trace", "replan", "deploy", "fuzz")
+            assert subsystem in (
+                "sim", "trace", "replan", "deploy", "fuzz", "selfcheck",
+            )
             assert action
 
     def test_event_kinds_sorted_and_complete(self):

@@ -264,3 +264,151 @@ class TestDeploy:
         out = capsys.readouterr().out
         assert "chaos sweep: 25 run(s)" in out
         assert "certified plan" in out
+
+
+class TestSelfcheck:
+    """Exit-code contract: 0 clean, 1 errors/IO, 2 strict warnings,
+    3 allowlist integrity — mirroring deploy's 0/1/2/3 discipline."""
+
+    EMPTY_ALLOWLIST = '{"version": 1, "entries": []}'
+
+    def tree(self, tmp_path, files):
+        import textwrap
+
+        root = tmp_path / "repro"
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        allow = tmp_path / "allow.json"
+        allow.write_text(self.EMPTY_ALLOWLIST)
+        return ["--root", str(root), "--allowlist", str(allow)]
+
+    CLEAN = {"__init__.py": "", "core/__init__.py": ""}
+    DIRTY = {
+        "__init__.py": "",
+        "core/__init__.py": "",
+        "core/engine.py": "import time\n\ndef f():\n    return time.time()\n",
+    }
+    WARN = {
+        "__init__.py": "",
+        "core/__init__.py": "",
+        "core/t.py": "import time\n\ndef f():\n    return time.perf_counter()\n",
+    }
+
+    def test_committed_tree_is_clean(self, capsys):
+        assert main(["selfcheck", "--strict"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        assert main(["selfcheck", *self.tree(tmp_path, self.CLEAN)]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_errors_exit_1(self, tmp_path, capsys):
+        assert main(["selfcheck", *self.tree(tmp_path, self.DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "DIRTY" in out
+        assert "DET001" in out
+
+    def test_strict_warnings_exit_2(self, tmp_path, capsys):
+        base = self.tree(tmp_path, self.WARN)
+        assert main(["selfcheck", *base]) == 0
+        capsys.readouterr()
+        assert main(["selfcheck", *base, "--strict"]) == 2
+        assert "DET005" in capsys.readouterr().out
+
+    def test_stale_allowlist_exits_3(self, tmp_path, capsys):
+        base = self.tree(tmp_path, self.CLEAN)
+        allow = tmp_path / "allow.json"
+        allow.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "code": "DET005",
+                            "module": "repro.core.gone",
+                            "symbol": None,
+                            "justification": "module was deleted long ago",
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["selfcheck", *base]) == 3
+        err = capsys.readouterr().err
+        assert "allowlist integrity failure" in err
+        assert "stale" in err
+
+    def test_unjustified_allowlist_exits_3(self, tmp_path, capsys):
+        base = self.tree(tmp_path, self.WARN)
+        allow = tmp_path / "allow.json"
+        allow.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "code": "DET005",
+                            "module": "repro.core.t",
+                            "symbol": "f",
+                            "justification": "",
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["selfcheck", *base]) == 3
+        assert "justification" in capsys.readouterr().err
+
+    def test_json_and_out_reports_written(self, tmp_path, capsys):
+        base = self.tree(tmp_path, self.WARN)
+        json_path = tmp_path / "report.json"
+        out_path = tmp_path / "report.txt"
+        code = main(
+            ["selfcheck", *base, "--json", str(json_path), "--out",
+             str(out_path)]
+        )
+        assert code == 0
+        blob = json.loads(json_path.read_text())
+        assert blob["ok"] is True
+        assert blob["counts"]["warning"] == 1
+        assert blob["findings"][0]["code"] == "DET005"
+        assert "DET005" in out_path.read_text()
+
+    def test_unwritable_json_exits_1_without_traceback(self, tmp_path, capsys):
+        base = self.tree(tmp_path, self.CLEAN)
+        code = main(
+            ["selfcheck", *base, "--json", str(tmp_path / "no" / "dir.json")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_missing_allowlist_exits_1(self, tmp_path, capsys):
+        root = self.tree(tmp_path, self.CLEAN)[1]
+        code = main(
+            ["selfcheck", "--root", root, "--allowlist",
+             str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_allowlist_exits_1(self, tmp_path, capsys):
+        root = self.tree(tmp_path, self.CLEAN)[1]
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["selfcheck", "--root", root, "--allowlist", str(bad)])
+        assert code == 1
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_telemetry_stream_written(self, tmp_path, capsys):
+        from repro.obs import aggregate_jsonl
+
+        base = self.tree(tmp_path, self.WARN)
+        stream = tmp_path / "events.jsonl"
+        assert main(["selfcheck", *base, "--telemetry", str(stream)]) == 0
+        aggregate = aggregate_jsonl(str(stream))
+        assert aggregate["by_kind"]["selfcheck.finding"] == 1
+        assert aggregate["by_kind"]["selfcheck.run"] == 1
