@@ -491,6 +491,26 @@ def cmd_demo(args: argparse.Namespace) -> int:
         net = SimNetwork(topo, table, metrics_bucket=0.02, telemetry=telemetry)
         print("running WITHOUT Tagger (plain PFC)")
 
+    detector = None
+    coordinator = None
+    if args.detect:
+        from repro.detect import RecoveryArbiter, RecoveryCoordinator
+        from repro.simulator import DeadlockDetector, DetectorConfig
+
+        detector = DeadlockDetector(
+            net,
+            DetectorConfig(
+                poll=args.detect_poll,
+                confirm_scans=args.detect_confirm_scans,
+            ),
+        )
+        if args.detect_quarantine:
+            coordinator = RecoveryCoordinator(net, arbiter=RecoveryArbiter())
+            detector.on_confirm = coordinator.on_confirm
+        detector.install()
+        mode = "quarantine" if coordinator is not None else "observe-only"
+        print(f"runtime deadlock detector armed ({mode})")
+
     if args.scenario == "fig10":
         green = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
         blue = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
@@ -531,6 +551,24 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
         sample_queue_gauges(telemetry.registry, net)
     _export_telemetry(args, telemetry)
+    if detector is not None:
+        clears = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(detector.clear_reasons().items())
+        )
+        print(
+            f"detector: {detector.triggers_originated} trigger(s), "
+            f"{detector.suspects_raised} suspect(s), "
+            f"{detector.confirms} confirm(s)"
+            + (f", clears: {clears}" if clears else "")
+        )
+        if coordinator is not None and coordinator.quarantines:
+            moved = sum(q.moved for q in coordinator.quarantines)
+            print(
+                f"detector quarantined {len(coordinator.quarantines)} "
+                f"queue(s), moved {moved} packet(s) to lossy, "
+                f"{coordinator.rearms} re-arm(s)"
+            )
     cycle = find_deadlock_cycle(net)
     if cycle:
         print(f"DEADLOCK across {sorted({n[0] for n in cycle})}")
@@ -551,6 +589,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         inject_fault=args.inject_fault,
         corpus_dir=args.corpus_dir if args.shrink else None,
         strict_oracle=args.strict_oracle,
+        detect_budget=args.detect_budget,
+        detect_duration=args.detect_duration,
     )
     telemetry = _make_telemetry(args)
     report = run_fuzz(config, telemetry=telemetry)
@@ -968,6 +1008,31 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=("fig10", "fig11"))
     demo.add_argument("--tagger", action="store_true")
     demo.add_argument("--duration", type=float, default=0.3)
+    demo.add_argument(
+        "--detect",
+        action="store_true",
+        help="install the runtime DCFIT-style deadlock detector",
+    )
+    demo.add_argument(
+        "--detect-poll",
+        type=float,
+        default=0.005,
+        dest="detect_poll",
+        help="detector scan period in sim seconds (with --detect)",
+    )
+    demo.add_argument(
+        "--detect-confirm-scans",
+        type=int,
+        default=3,
+        dest="detect_confirm_scans",
+        help="consecutive re-observations before a suspect is confirmed",
+    )
+    demo.add_argument(
+        "--no-detect-quarantine",
+        action="store_false",
+        dest="detect_quarantine",
+        help="observe-only: confirm deadlocks but do not quarantine",
+    )
     add_telemetry_arg(demo)
     demo.set_defaults(func=cmd_demo)
 
@@ -1012,6 +1077,21 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="strict_oracle",
         help="treat a non-deadlocking untagged control run as a violation",
+    )
+    fuzz.add_argument(
+        "--detect-budget",
+        type=int,
+        default=0,
+        dest="detect_budget",
+        help="max scenarios run through the detection head-to-head "
+        "matrix (Tagger-on vs detection-only vs both; 0 disables)",
+    )
+    fuzz.add_argument(
+        "--detect-duration",
+        type=float,
+        default=0.3,
+        dest="detect_duration",
+        help="sim seconds per detection-matrix cell",
     )
     fuzz.add_argument("--report", type=str, default=None)
     add_telemetry_arg(fuzz)

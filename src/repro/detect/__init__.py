@@ -1,0 +1,46 @@
+"""Detection-driven recovery coordination (the DCFIT loop).
+
+Thin glue between three existing layers:
+
+- :mod:`repro.simulator.detection` — the per-switch DCFIT-style
+  detector (observes PAUSE propagation, confirms deadlocks);
+- this package — arbitration (:class:`RecoveryArbiter`), quarantine /
+  re-arm / flap suppression (:class:`RecoveryCoordinator`), and plan
+  rollback through the deploy orchestrator (:class:`RolloutDriver`);
+- :mod:`repro.detect.matrix` — the head-to-head scenario matrix the
+  fuzz harness scores the loop with, against the seeded ground-truth
+  :class:`~repro.simulator.deadlock.OracleSampler`.
+
+See ``docs/DETECTION.md`` for the state machine and tuning guide.
+"""
+
+from repro.detect.arbiter import OwnerKey, RecoveryArbiter
+from repro.detect.coordinator import (
+    DETECTOR_OWNER,
+    QuarantineEvent,
+    RecoveryCoordinator,
+)
+from repro.detect.matrix import (
+    CellResult,
+    MatrixOutcome,
+    detection_matrix,
+    false_positive_cells,
+    latency_bound_for,
+    run_cell,
+)
+from repro.detect.rollback import RolloutDriver
+
+__all__ = [
+    "RecoveryArbiter",
+    "OwnerKey",
+    "RecoveryCoordinator",
+    "QuarantineEvent",
+    "DETECTOR_OWNER",
+    "RolloutDriver",
+    "CellResult",
+    "MatrixOutcome",
+    "detection_matrix",
+    "false_positive_cells",
+    "latency_bound_for",
+    "run_cell",
+]

@@ -1,0 +1,60 @@
+"""Single-owner arbitration for queue-level recovery actions.
+
+Two independent recovery mechanisms can target the same egress queue:
+the :class:`~repro.simulator.watchdog.PfcWatchdog` (discard on long
+pause) and the detector-driven quarantine (demote to lossy). Letting
+both act is a double-demote: the watchdog destroys lossless packets the
+quarantine was about to drain intact. The arbiter serializes them — one
+*owner* per ``(switch, queue)`` at a time, first acquirer wins, and the
+loser skips its action entirely for as long as the owner holds the key.
+
+Deliberately dumb: a dict wrapper with no clocks, no priorities, no
+imports. Determinism of who wins comes from the simulator's
+deterministic event order, not from the arbiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Arbitration domain: one lossless queue on one switch (all ports — a
+#: deadlock recovery on any port's queue must not race another on the
+#: same priority of the same switch).
+OwnerKey = Tuple[str, int]
+
+
+@dataclass
+class RecoveryArbiter:
+    """First-acquirer-wins ownership of per-(switch, queue) recovery."""
+
+    _owners: Dict[OwnerKey, str] = field(default_factory=dict)
+    #: Audit log of (switch, queue, owner, granted) decisions, in order.
+    decisions: List[Tuple[str, int, str, bool]] = field(default_factory=list)
+
+    def acquire(self, switch: str, queue: int, owner: str) -> bool:
+        """Try to own recovery of ``(switch, queue)``; idempotent per owner."""
+        key = (switch, queue)
+        holder = self._owners.get(key)
+        granted = holder is None or holder == owner
+        if granted:
+            self._owners[key] = owner
+        self.decisions.append((switch, queue, owner, granted))
+        return granted
+
+    def release(self, switch: str, queue: int, owner: str) -> None:
+        """Release ownership; a non-owner's release is a no-op."""
+        key = (switch, queue)
+        if self._owners.get(key) == owner:
+            del self._owners[key]
+
+    def owner_of(self, switch: str, queue: int) -> Optional[str]:
+        return self._owners.get((switch, queue))
+
+    def denials(self, owner: str) -> int:
+        """How many acquire attempts by ``owner`` were denied."""
+        return sum(
+            1
+            for _, _, who, granted in self.decisions
+            if who == owner and not granted
+        )

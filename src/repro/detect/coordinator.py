@@ -1,0 +1,232 @@
+"""Recovery coordination: confirmed detection -> quarantine -> re-arm.
+
+The detector (:mod:`repro.simulator.detection`) only *observes*. This
+module closes the loop: on a confirmed deadlock it
+
+1. **arbitrates** — acquires the single recovery owner for the victim
+   ``(switch, queue)`` so the PFC watchdog cannot double-demote it;
+2. **quarantines** — moves the victim egress queue's packets to the
+   lossy queue (re-tagged :data:`~repro.core.tags.LOSSY_TAG`, ingress
+   accounts untouched so they release normally on transmit) and marks
+   the queue in ``net.quarantined`` so traffic keeps flowing lossy
+   while the cycle drains. Unlike the watchdog/breaker baselines this
+   destroys **zero** lossless packets;
+3. **rolls back** — when the fabric runs a Tagger plan whose
+   assumptions evidently broke, drives the deploy-layer
+   :class:`~repro.deploy.RolloutOrchestrator` to wipe the victim
+   switch back to safeguard-only tables (see
+   :class:`repro.detect.rollback.RolloutDriver`);
+4. **re-arms** — restores the queue to lossless service after a hold
+   period that grows exponentially on repeat episodes (flap
+   suppression), releasing ownership so either mechanism may act on a
+   genuine recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.pipeline import LOSSY_QUEUE, PipelineConfig
+from repro.core.tags import LOSSY_TAG
+from repro.detect.arbiter import RecoveryArbiter
+from repro.obs.events import (
+    EV_DETECT_QUARANTINE,
+    EV_DETECT_REARM,
+    EV_DETECT_ROLLBACK,
+)
+from repro.obs.instrument import detect_metric_handles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.detect.rollback import RolloutDriver
+    from repro.simulator.detection import Detection
+    from repro.simulator.network import SimNetwork
+
+#: Owner name the coordinator uses with the recovery arbiter.
+DETECTOR_OWNER = "detector"
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One quarantine episode (queue demoted to lossy service)."""
+
+    time: float
+    switch: str
+    port: int
+    queue: int
+    #: Packets moved intact from the lossless FIFO to the lossy one.
+    moved: int
+    #: 1-based episode count for this queue (flap-suppression input).
+    episode: int
+    #: Seconds until the queue is re-armed to lossless service.
+    hold: float
+
+
+class RecoveryCoordinator:
+    """Drives quarantine/rollback/re-arm from confirmed detections.
+
+    Attributes:
+        net: The fabric to protect.
+        arbiter: Optional shared :class:`RecoveryArbiter`; when given,
+            quarantine only proceeds if the coordinator wins ownership
+            of the victim ``(switch, queue)``.
+        hold: Base quarantine duration before re-arm.
+        flap_multiplier / hold_max: Each further episode on the same
+            queue multiplies the hold (capped), so a flapping deadlock
+            spends exponentially longer in lossy service instead of
+            oscillating at the detector's confirmation cadence.
+        rollout_driver: Optional :class:`RolloutDriver`; when set, the
+            first confirmed detection on a switch also rolls that
+            switch's plan back to safeguard-only tables through the
+            deploy orchestrator, and — if the rollout converges —
+            installs the resulting pipeline on the live switch.
+    """
+
+    def __init__(
+        self,
+        net: "SimNetwork",
+        arbiter: Optional[RecoveryArbiter] = None,
+        hold: float = 0.05,
+        flap_multiplier: float = 2.0,
+        hold_max: float = 1.0,
+        rollout_driver: Optional["RolloutDriver"] = None,
+    ) -> None:
+        self.net = net
+        self.arbiter = arbiter
+        self.hold = hold
+        self.flap_multiplier = flap_multiplier
+        self.hold_max = hold_max
+        self.rollout_driver = rollout_driver
+        self.quarantines: List[QuarantineEvent] = []
+        self.rearms = 0
+        self.arbitration_skips = 0
+        self.rollback_outcomes: Dict[str, str] = {}
+        self._episodes: Dict[Tuple[str, int, int], int] = {}
+        self._handles: Optional[Dict[str, object]] = None
+        if net.telemetry is not None:
+            self._handles = detect_metric_handles(net.telemetry.registry)
+
+    # ------------------------------------------------------------------
+    # Confirmed-detection entry point (wired as detector.on_confirm)
+    # ------------------------------------------------------------------
+    def on_confirm(self, detection: "Detection") -> None:
+        switch, port, queue = detection.switch, detection.port, detection.queue
+        if (switch, port, queue) in self.net.quarantined:
+            return  # already under quarantine (re-confirm while held)
+        if self.arbiter is not None and not self.arbiter.acquire(
+            switch, queue, DETECTOR_OWNER
+        ):
+            self.arbitration_skips += 1
+            return
+        episode = self._episodes.get((switch, port, queue), 0) + 1
+        self._episodes[(switch, port, queue)] = episode
+        hold = self.hold_for(episode)
+        moved = self._quarantine(switch, port, queue)
+        now = self.net.sim.now
+        self.quarantines.append(
+            QuarantineEvent(now, switch, port, queue, moved, episode, hold)
+        )
+        if self.net.telemetry is not None:
+            self.net.telemetry.emit(
+                EV_DETECT_QUARANTINE,
+                time=now,
+                switch=switch,
+                port=port,
+                queue=queue,
+                moved=moved,
+            )
+            assert self._handles is not None
+            self._handles["quarantines"].inc()  # type: ignore[attr-defined]
+        self.net.sim.schedule(
+            hold, lambda: self._rearm(switch, port, queue)
+        )
+        if self.rollout_driver is not None:
+            self._rollback(switch)
+
+    def hold_for(self, episode: int) -> float:
+        """Quarantine hold before the ``episode``-th re-arm (1-based)."""
+        return min(
+            self.hold_max,
+            self.hold * (self.flap_multiplier ** (episode - 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # Quarantine mechanics
+    # ------------------------------------------------------------------
+    def _quarantine(self, switch_name: str, port: int, queue: int) -> int:
+        """Demote the victim queue to lossy service; returns packets moved.
+
+        The stalled packets are re-enqueued on the (never-paused) lossy
+        queue with :data:`LOSSY_TAG` so every later hop keeps them
+        lossy. Their ingress accounts are *not* released here — they
+        release on transmit exactly like any forwarded packet, which is
+        what lifts the upstream pauses and drains the rest of the
+        cycle without destroying a single lossless packet.
+        """
+        self.net.quarantined.add((switch_name, port, queue))
+        switch = self.net.switches[switch_name]
+        tx = switch.tx_ports[port]
+        fifo = tx.queues.get(queue)
+        moved = 0
+        while fifo:
+            packet = fifo.popleft()
+            tx.queued_bytes[queue] -= packet.size
+            self.net.metrics.record_demotion(
+                self.net.sim.now,
+                switch_name,
+                packet.tag,
+                LOSSY_TAG,
+                packet.flow_id,
+            )
+            packet.tag = LOSSY_TAG
+            tx.enqueue(packet, LOSSY_QUEUE)
+            moved += 1
+        return moved
+
+    def _rearm(self, switch: str, port: int, queue: int) -> None:
+        self.net.quarantined.discard((switch, port, queue))
+        if self.arbiter is not None:
+            self.arbiter.release(switch, queue, DETECTOR_OWNER)
+        self.rearms += 1
+        if self.net.telemetry is not None:
+            episode = self._episodes.get((switch, port, queue), 1)
+            self.net.telemetry.emit(
+                EV_DETECT_REARM,
+                time=self.net.sim.now,
+                switch=switch,
+                port=port,
+                queue=queue,
+                backoff=self.hold_for(episode),
+            )
+            assert self._handles is not None
+            self._handles["rearms"].inc()  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Plan rollback (deploy layer)
+    # ------------------------------------------------------------------
+    def _rollback(self, switch: str) -> None:
+        if switch in self.rollback_outcomes:
+            return  # one rollback per switch per run
+        assert self.rollout_driver is not None
+        report = self.rollout_driver.rollback(switch)
+        self.rollback_outcomes[switch] = report.outcome
+        if self.net.telemetry is not None:
+            self.net.telemetry.emit(
+                EV_DETECT_ROLLBACK,
+                time=self.net.sim.now,
+                switch=switch,
+                outcome=report.outcome,
+            )
+            assert self._handles is not None
+            self._handles["rollbacks"].inc(  # type: ignore[attr-defined]
+                outcome=report.outcome
+            )
+        if report.outcome == self.rollout_driver.converged_outcome:
+            # Reflect the control-plane result on the live data plane:
+            # the victim switch now runs safeguard-only (lossy) tables.
+            live = self.net.switches[switch]
+            live.pipeline = PipelineConfig(
+                rule_table=self.rollout_driver.table_for(switch),
+                queue_map=live.pipeline.queue_map,
+                decouple_egress=live.pipeline.decouple_egress,
+            )

@@ -575,6 +575,7 @@ def _check_deploy(
     from repro.core.rules import RuleTable, diff_tables
     from repro.deploy import (
         CONVERGED,
+        REFUSED,
         RolloutConfig,
         RolloutOrchestrator,
         fleet_from_tables,
@@ -632,6 +633,14 @@ def _check_deploy(
         agents=agents,
         faults=faults_plan,
     ).run()
+    if report.outcome == REFUSED:
+        # Pre-flight refusal: the mixed old/new transition state is not
+        # certifiable deadlock-free under any wave ordering, so the
+        # orchestrator never sent an RPC. That is the safety gate working,
+        # not a divergence — and since no agent was touched, a refusal can
+        # never mask the buggy-agent readback check below.
+        result.stats["deploy"] = f"skipped: rollout refused ({report.detail})"
+        return
     report_ok = (
         report.outcome == CONVERGED
         and report.final_lint_ok

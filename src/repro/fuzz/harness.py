@@ -32,6 +32,15 @@ from repro.obs.telemetry import Telemetry
 ORACLE_TAGGED_DEADLOCK = "oracle-tagged-deadlock"
 ORACLE_INSENSITIVE = "oracle-insensitive"
 
+#: Detection-matrix invariants (18 and 19, layered like the oracle's).
+#: 18 — with Tagger disabled, every oracle-confirmed deadlock must be
+#: confirmed by the local detector within the matrix latency bound and
+#: quarantine must restore forward progress.
+DETECT_LATENCY = "detect-latency"
+#: 19 — on runs whose ground truth shows no cycle (transient congestion
+#: only), the detector must report zero confirmations.
+DETECT_FALSE_POSITIVE = "detect-false-positive"
+
 
 @dataclass
 class FuzzConfig:
@@ -51,6 +60,10 @@ class FuzzConfig:
     #: Treat a non-deadlocking untagged control run as a violation.
     strict_oracle: bool = False
     oracle_duration: float = 0.2
+    #: Max scenarios run through the head-to-head detection matrix
+    #: (Tagger-on vs detection-only vs both; 0 disables the stage).
+    detect_budget: int = 0
+    detect_duration: float = 0.3
 
     def __post_init__(self) -> None:
         if self.inject_fault is not None:
@@ -70,6 +83,10 @@ class FuzzReport:
     oracle_skips: int = 0
     oracle_control_deadlocks: int = 0
     oracle_misses: List[str] = field(default_factory=list)
+    detect_runs: int = 0
+    detect_skips: int = 0
+    detect_deadlocks: int = 0
+    detect_matrix: List[Dict[str, Any]] = field(default_factory=list)
     corpus_entries: List[CorpusEntry] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     #: Optional observability hookup (pure observer; not serialized).
@@ -126,6 +143,12 @@ class FuzzReport:
                 "control_deadlocks": self.oracle_control_deadlocks,
                 "misses": self.oracle_misses,
             },
+            "detect": {
+                "runs": self.detect_runs,
+                "skips": self.detect_skips,
+                "deadlocks": self.detect_deadlocks,
+                "matrix": self.detect_matrix,
+            },
             "corpus_entries": [
                 {"id": e.entry_id, "path": e.path, "violations": e.violations}
                 for e in self.corpus_entries
@@ -144,7 +167,9 @@ class FuzzReport:
             f"{verdict}: {self.iterations_run} scenario(s) [{kinds}], "
             f"{self.invariant_checks} invariant checks, oracle "
             f"{self.oracle_runs} run(s) / {self.oracle_control_deadlocks} "
-            f"control deadlock(s), {len(self.corpus_entries)} corpus "
+            f"control deadlock(s), detect matrix {self.detect_runs} "
+            f"run(s) / {self.detect_deadlocks} deadlock(s), "
+            f"{len(self.corpus_entries)} corpus "
             f"entr(y/ies), {self.elapsed_seconds:.1f}s"
         )
 
@@ -161,6 +186,7 @@ def run_fuzz(
     report = FuzzReport(config=config, telemetry=telemetry)
     generator = ScenarioGenerator(config.seed)
     oracle_left = config.oracle_budget
+    detect_left = config.detect_budget
 
     for iteration in range(config.iterations):
         elapsed = time.monotonic() - started
@@ -235,6 +261,11 @@ def run_fuzz(
                         now=elapsed,
                     )
 
+        if detect_left > 0:
+            detect_left -= _run_detect_stage(
+                report, scenario, now=elapsed
+            )
+
     report.elapsed_seconds = time.monotonic() - started
     if telemetry is not None:
         telemetry.registry.counter(
@@ -245,6 +276,86 @@ def run_fuzz(
             "fuzz_elapsed_seconds", "Wall seconds the last fuzz run took."
         ).set(report.elapsed_seconds)
     return report
+
+
+def _run_detect_stage(
+    report: FuzzReport, scenario: Scenario, now: float = 0.0
+) -> int:
+    """Run one scenario through the detection matrix; returns budget used.
+
+    Evaluates the two dynamic detection invariants:
+
+    - :data:`DETECT_LATENCY` (18) on the Tagger-disabled cell whenever
+      the ground-truth oracle confirmed a deadlock;
+    - :data:`DETECT_FALSE_POSITIVE` (19) on every cell whose ground
+      truth stayed cycle-free (including the dedicated
+      transient-congestion cell).
+    """
+    from repro.detect.matrix import detection_matrix, false_positive_cells
+
+    config = report.config
+    try:
+        outcome = detection_matrix(
+            scenario,
+            duration=config.detect_duration,
+            seed=config.seed,
+        )
+    except ReproError as exc:
+        report.note_violation(
+            scenario.scenario_id, "harness-error", str(exc), now=now
+        )
+        return 1
+    if not outcome.ran:
+        report.detect_skips += 1
+        return 0
+    report.detect_runs += 1
+    report.invariant_checks += 2
+    summary = outcome.to_dict()
+    summary["scenario_id"] = scenario.scenario_id
+    report.detect_matrix.append(summary)
+
+    cell = outcome.cell("detect")
+    if cell is not None and cell.oracle_deadlocked:
+        report.detect_deadlocks += 1
+        latency = cell.detection_latency
+        if cell.confirms < 1 or latency is None:
+            report.note_violation(
+                scenario.scenario_id,
+                DETECT_LATENCY,
+                f"{DETECT_LATENCY}: oracle confirmed a deadlock at "
+                f"t={cell.oracle_first_cycle_time} but the local detector "
+                f"never confirmed",
+                now=now,
+            )
+        elif latency > outcome.latency_bound:
+            report.note_violation(
+                scenario.scenario_id,
+                DETECT_LATENCY,
+                f"{DETECT_LATENCY}: detection latency {latency:.6f}s "
+                f"exceeds bound {outcome.latency_bound:.6f}s",
+                now=now,
+            )
+        elif not cell.progress_restored:
+            report.note_violation(
+                scenario.scenario_id,
+                DETECT_LATENCY,
+                f"{DETECT_LATENCY}: quarantine did not restore forward "
+                f"progress (deadlocked_at_end="
+                f"{cell.oracle_deadlocked_at_end}, delivered "
+                f"{cell.delivered_at_confirm} -> {cell.delivered_end})",
+                now=now,
+            )
+    for fp_cell in false_positive_cells(outcome):
+        if fp_cell.confirms > 0:
+            report.note_violation(
+                scenario.scenario_id,
+                DETECT_FALSE_POSITIVE,
+                f"{DETECT_FALSE_POSITIVE}: cell {fp_cell.name!r} had "
+                f"{fp_cell.confirms} confirmation(s) with no "
+                f"ground-truth cycle",
+                now=now,
+            )
+    return 1
 
 
 def _record_failure(

@@ -49,6 +49,15 @@ EV_DEPLOY_ROLLBACK = "deploy.rollback"
 EV_DEPLOY_QUARANTINE = "deploy.quarantine"
 EV_DEPLOY_OUTCOME = "deploy.outcome"
 
+# Runtime deadlock detection (DCFIT-style detector + recovery loop) ----
+EV_DETECT_TRIGGER = "detect.trigger"
+EV_DETECT_SUSPECT = "detect.suspect"
+EV_DETECT_CONFIRM = "detect.confirm"
+EV_DETECT_CLEAR = "detect.clear"
+EV_DETECT_QUARANTINE = "detect.quarantine"
+EV_DETECT_REARM = "detect.rearm"
+EV_DETECT_ROLLBACK = "detect.rollback"
+
 # Fuzzing harness ------------------------------------------------------
 EV_FUZZ_SCENARIO = "fuzz.scenario"
 EV_FUZZ_VIOLATION = "fuzz.violation"
@@ -89,6 +98,13 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     EV_DEPLOY_ROLLBACK: ("switches",),
     EV_DEPLOY_QUARANTINE: ("switch", "wiped"),
     EV_DEPLOY_OUTCOME: ("outcome", "rpcs"),
+    EV_DETECT_TRIGGER: ("node", "port", "queue"),
+    EV_DETECT_SUSPECT: ("switch", "port", "queue", "chain_len"),
+    EV_DETECT_CONFIRM: ("switch", "port", "queue", "observations", "latency"),
+    EV_DETECT_CLEAR: ("switch", "port", "queue", "reason"),
+    EV_DETECT_QUARANTINE: ("switch", "port", "queue", "moved"),
+    EV_DETECT_REARM: ("switch", "port", "queue", "backoff"),
+    EV_DETECT_ROLLBACK: ("switch", "outcome"),
     EV_FUZZ_SCENARIO: ("scenario", "scenario_kind"),
     EV_FUZZ_VIOLATION: ("scenario", "invariant"),
     EV_SELFCHECK_FINDING: ("code", "module", "line", "allowlisted"),

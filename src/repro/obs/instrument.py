@@ -236,3 +236,50 @@ def sim_metric_handles(
             "Deadlock cycles detected (and broken) by the recovery scan.",
         ),
     }
+
+
+def detect_metric_handles(
+    registry: MetricsRegistry,
+) -> Dict[str, object]:
+    """Create (or fetch) the deadlock detector's registry metrics once.
+
+    Same caching contract as :func:`sim_metric_handles`: the detector
+    grabs these handles when telemetry is attached so its PFC-observer
+    and scan paths never do registry lookups.
+    """
+    return {
+        "triggers": registry.counter(
+            "detect_triggers_total",
+            "Fresh PAUSE-propagation chains originated by the detector.",
+        ),
+        "suspects": registry.counter(
+            "detect_suspects_total",
+            "Pause-propagation loops first observed (suspect episodes).",
+        ),
+        "confirms": registry.counter(
+            "detect_confirms_total",
+            "Suspects confirmed as deadlocks after re-observation.",
+        ),
+        "clears": registry.counter(
+            "detect_clears_total",
+            "Suspects cleared as transient congestion, by reason.",
+            labelnames=("reason",),
+        ),
+        "quarantines": registry.counter(
+            "detect_quarantines_total",
+            "Egress queues quarantined (demoted to lossy) by recovery.",
+        ),
+        "rearms": registry.counter(
+            "detect_rearms_total",
+            "Quarantined queues restored to lossless service.",
+        ),
+        "rollbacks": registry.counter(
+            "detect_rollbacks_total",
+            "Plan rollbacks driven by confirmed detections, by outcome.",
+            labelnames=("outcome",),
+        ),
+        "latency": registry.histogram(
+            "detect_latency_seconds",
+            "Simulated seconds from first suspicion to confirmation.",
+        ),
+    }

@@ -7,10 +7,21 @@ with PFC-honouring NICs, and runtime deadlock (wait-for cycle) detection.
 """
 
 from repro.simulator.deadlock import (
+    OracleSample,
+    OracleSampler,
     blocked_queues,
     find_deadlock_cycle,
     is_deadlocked,
     wait_for_graph,
+)
+from repro.simulator.detection import (
+    CLEAR_BROKEN,
+    CLEAR_RECOVERED,
+    CLEAR_RESUMED,
+    ClearEvent,
+    DeadlockDetector,
+    Detection,
+    DetectorConfig,
 )
 from repro.simulator.engine import Simulator
 from repro.simulator.flow import Flow, pin_path
@@ -59,6 +70,15 @@ __all__ = [
     "wait_for_graph",
     "find_deadlock_cycle",
     "is_deadlocked",
+    "OracleSample",
+    "OracleSampler",
+    "DeadlockDetector",
+    "DetectorConfig",
+    "Detection",
+    "ClearEvent",
+    "CLEAR_RESUMED",
+    "CLEAR_BROKEN",
+    "CLEAR_RECOVERED",
     "DeadlockBreaker",
     "RecoveryEvent",
     "DROP_DEADLOCK_RESET",

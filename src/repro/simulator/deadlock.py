@@ -14,6 +14,8 @@ blocked egress queue ``Y``.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -96,3 +98,76 @@ def find_deadlock_cycle(net: "SimNetwork") -> Optional[List[WaitNode]]:
 
 def is_deadlocked(net: "SimNetwork") -> bool:
     return find_deadlock_cycle(net) is not None
+
+
+@dataclass(frozen=True)
+class OracleSample:
+    """One periodic ground-truth observation."""
+
+    time: float
+    cycle: Optional[Tuple[WaitNode, ...]]
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.cycle is not None
+
+
+@dataclass
+class OracleSampler:
+    """Periodic, seeded sampling of the omniscient cycle finder.
+
+    Callers used to invoke :func:`find_deadlock_cycle` ad hoc, which
+    made "when did the oracle first see the deadlock?" depend on who
+    happened to poll — useless as a reference clock for detector
+    latency. The sampler fixes the cadence: one scan every ``period``
+    seconds, with a *seeded* phase offset so the sampling grid is
+    deterministic per seed yet not accidentally aligned with the
+    detector's own scan (which would hide up to one full period of
+    latency systematically).
+
+    Attributes:
+        net: The fabric to sample.
+        period: Sampling period in simulated seconds.
+        seed: Seeds the phase draw in ``[0, period)``; the same seed
+            always yields the same sampling grid.
+        phase: Explicit first-sample offset; overrides the seeded draw.
+    """
+
+    net: "SimNetwork"
+    period: float = 0.005
+    seed: int = 0
+    phase: Optional[float] = None
+    samples: List[OracleSample] = field(default_factory=list)
+    first_cycle_time: Optional[float] = None
+    first_cycle: Optional[Tuple[WaitNode, ...]] = None
+    _installed: bool = False
+
+    def install(self) -> None:
+        """Start sampling. Call once, before or during the run."""
+        if self._installed:
+            return
+        self._installed = True
+        offset = self.phase
+        if offset is None:
+            offset = random.Random(self.seed).uniform(0.0, self.period)
+        self.net.sim.schedule(offset, self._tick)
+
+    def _tick(self) -> None:
+        cycle = find_deadlock_cycle(self.net)
+        sample = OracleSample(
+            time=self.net.sim.now,
+            cycle=None if cycle is None else tuple(cycle),
+        )
+        self.samples.append(sample)
+        if sample.deadlocked and self.first_cycle_time is None:
+            self.first_cycle_time = sample.time
+            self.first_cycle = sample.cycle
+        self.net.sim.schedule(self.period, self._tick)
+
+    @property
+    def deadlock_seen(self) -> bool:
+        return self.first_cycle_time is not None
+
+    def deadlocked_at_end(self) -> bool:
+        """Did the last sample still show a live cycle?"""
+        return bool(self.samples) and self.samples[-1].deadlocked

@@ -1,0 +1,458 @@
+"""DCFIT-style runtime deadlock detection from local switch state.
+
+Tagger *prevents* deadlocks only while its ELP assumptions hold. When
+they are violated (misconfiguration, unplanned bounces, no plan at all)
+the fabric needs a *detector* — and production switches cannot compute
+the global wait-for graph that :mod:`repro.simulator.deadlock` walks.
+That omniscient cycle finder stays exactly what it is: the ground-truth
+oracle this detector is scored against.
+
+The detector follows DCFIT (Wu & Ng, arXiv:2009.13446): track how PFC
+PAUSE frames *propagate* and detect when the propagation chain loops
+back on itself, using only state a single switch can observe.
+
+**Chains.** Every PAUSE frame carries (in-band, modeled as metadata on
+the simulated frame) the chain of hops its back-pressure descended from.
+A hop is the ingress account ``(node, port, queue)`` whose XOFF crossing
+emitted the PAUSE. When switch ``S`` pauses upstream for account ``A``,
+it looks at its *own* paused egress queues holding ``A``'s packets: the
+chains stored there (from PAUSEs ``S`` previously received) caused this
+PAUSE, so ``S`` forwards them extended by ``A``. If no such queue exists
+the PAUSE is a fresh *initial trigger* — the root of a congestion tree
+(e.g. a slow receiver NIC).
+
+**Loop closure.** The receiving switch stores the arriving chains
+against the egress queue the PAUSE freezes. A deadlock exists exactly
+when the propagation wraps: some switch holds an egress queue whose
+pause-chain contains one of its *own* accounts ``(S, p, q)`` **and**
+that account's packets are sitting in that very queue — the local
+manifestation of a wait-for cycle. Transient congestion always forms a
+propagation *tree*, so the loop test structurally cannot fire without a
+cyclic buffer dependency.
+
+**Re-observation.** A loop first observed makes the queue a *suspect*.
+Only after the loop is re-observed on ``confirm_scans`` consecutive
+local scans — with the pause still up and the chain still closed — is
+the detection *confirmed* (a self-resolving pause loop clears instead).
+A RESUME wipes the stored chains and clears the suspect: that is the
+transient-congestion exit.
+
+Confirmed detections are handed to an injected callback (see
+:class:`repro.detect.RecoveryCoordinator` for the quarantine/rollback
+loop); this module itself only observes and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from repro.obs.events import (
+    EV_DETECT_CLEAR,
+    EV_DETECT_CONFIRM,
+    EV_DETECT_SUSPECT,
+    EV_DETECT_TRIGGER,
+)
+from repro.obs.instrument import detect_metric_handles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import SimNetwork
+    from repro.simulator.txport import TxPort
+
+#: One hop of a pause-propagation chain: the ingress account
+#: ``(node, port, queue)`` whose XOFF crossing emitted the PAUSE (for a
+#: host-originated PAUSE the port is the NIC port, 0).
+ChainHop = Tuple[str, int, int]
+
+#: A pause-propagation chain, oldest hop first.
+PauseChain = Tuple[ChainHop, ...]
+
+#: A suspect/confirmed egress queue: (switch, out_port, queue).
+DetectKey = Tuple[str, int, int]
+
+#: Clear reasons (the ``detect.clear`` event's ``reason`` field).
+CLEAR_RESUMED = "resumed"  # downstream resumed: transient congestion
+CLEAR_BROKEN = "broken"  # loop no longer observed (chain/packets gone)
+CLEAR_RECOVERED = "recovered"  # a *confirmed* queue returned to service
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One confirmed deadlock detection."""
+
+    time: float
+    switch: str
+    port: int
+    queue: int
+    #: Simulated time the loop was first observed (suspect creation).
+    first_seen: float
+    #: Consecutive scans that re-observed the loop before confirming.
+    observations: int
+    #: The witnessing chain (contains an account of ``switch`` itself).
+    chain: PauseChain
+
+    @property
+    def key(self) -> DetectKey:
+        return (self.switch, self.port, self.queue)
+
+    @property
+    def latency(self) -> float:
+        """Seconds from first suspicion to confirmation."""
+        return self.time - self.first_seen
+
+
+@dataclass(frozen=True)
+class ClearEvent:
+    """A suspect dismissed (or a confirmed queue recovered)."""
+
+    time: float
+    switch: str
+    port: int
+    queue: int
+    reason: str
+
+
+@dataclass
+class _Suspect:
+    first_seen: float
+    observations: int
+    chain: PauseChain
+    confirmed: bool = False
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tuning knobs for the per-switch detector.
+
+    Attributes:
+        poll: Period of the local re-observation scan, per switch.
+        confirm_scans: Consecutive scans that must re-observe a pause
+            loop before it is confirmed as a deadlock. Higher values
+            trade detection latency for tolerance of self-resolving
+            loops; the loop test itself already rejects plain (acyclic)
+            congestion.
+        max_chain_hops: Chains are truncated to this many most-recent
+            hops — the bound on per-frame metadata a real
+            implementation would carry. Must exceed the longest cycle
+            to be detected.
+        max_chains: Per egress queue, at most this many distinct chains
+            are stored/propagated (deterministically: sorted, first N).
+    """
+
+    poll: float = 0.005
+    confirm_scans: int = 3
+    max_chain_hops: int = 64
+    max_chains: int = 8
+
+
+class DeadlockDetector:
+    """Per-switch PAUSE-propagation tracking with loop re-observation.
+
+    Observes every PFC frame the fabric carries (via the network's
+    ``pfc_observers`` hook), maintains the per-switch chain state
+    described in the module docstring, and runs a periodic local scan
+    per switch. Confirmed detections are appended to :attr:`detections`
+    and handed to ``on_confirm``.
+
+    The detector never touches the data plane — recovery belongs to
+    :class:`repro.detect.RecoveryCoordinator`.
+    """
+
+    def __init__(
+        self,
+        net: "SimNetwork",
+        config: Optional[DetectorConfig] = None,
+        on_confirm: Optional[Callable[[Detection], None]] = None,
+    ) -> None:
+        self.net = net
+        self.config = config or DetectorConfig()
+        self.on_confirm = on_confirm
+        #: switch -> (out_port, queue) -> chains carried by the pause
+        #: currently freezing that egress queue.
+        self._downstream: Dict[
+            str, Dict[Tuple[int, int], FrozenSet[PauseChain]]
+        ] = {}
+        self._suspects: Dict[DetectKey, _Suspect] = {}
+        self.detections: List[Detection] = []
+        self.clears: List[ClearEvent] = []
+        self.triggers_originated = 0
+        self.suspects_raised = 0
+        self._installed = False
+        self._handles: Optional[Dict[str, object]] = None
+        if net.telemetry is not None:
+            self._handles = detect_metric_handles(net.telemetry.registry)
+
+    # ------------------------------------------------------------------
+    # Installation / PFC observation
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Hook the fabric's PFC path and start the scan loop."""
+        if self._installed:
+            return
+        self._installed = True
+        self.net.pfc_observers.append(self._observe_pfc)
+        self.net.sim.schedule(self.config.poll, self._scan)
+
+    def _observe_pfc(
+        self, sender: str, in_port: int, queue: int, pause: bool
+    ) -> None:
+        """See one PFC frame leave ``sender`` (called by ``send_pfc``).
+
+        The chain metadata rides the frame, so its effect at the
+        upstream switch is applied after the same ``pfc_delay`` the
+        frame itself takes (and after ``on_pfc`` updates the pause
+        flag — the simulator's FIFO tie-break guarantees the order).
+        """
+        upstream = self.net.topo.peer_on_port(sender, in_port)
+        if upstream not in self.net.switches:
+            return  # pauses a host NIC: hosts cannot be part of a CBD
+        port = self.net.topo.port_to(upstream, sender)
+        if pause:
+            chains = self._chains_for(sender, in_port, queue)
+            self.net.sim.schedule(
+                self.net.config.pfc_delay,
+                lambda: self._install_chains(upstream, port, queue, chains),
+            )
+        else:
+            self.net.sim.schedule(
+                self.net.config.pfc_delay,
+                lambda: self._clear_chains(upstream, port, queue),
+            )
+
+    def _chains_for(
+        self, sender: str, in_port: int, queue: int
+    ) -> FrozenSet[PauseChain]:
+        """Chains a PAUSE from ``sender``'s account carries upstream."""
+        hop: ChainHop = (sender, in_port, queue)
+        carried: List[PauseChain] = []
+        switch = self.net.switches.get(sender)
+        if switch is not None:
+            stored = self._downstream.get(sender, {})
+            for (port, eq), chains in stored.items():
+                tx = switch.tx_ports.get(port)
+                if tx is None or not tx.pause.is_paused(eq):
+                    continue
+                if not self._account_waits_in(tx, eq, in_port, queue):
+                    continue
+                carried.extend(chains)
+        if not carried:
+            # Fresh initial trigger: this account is the root of the
+            # propagation (a congestion tree starts here).
+            self.triggers_originated += 1
+            if self.net.telemetry is not None:
+                self.net.telemetry.emit(
+                    EV_DETECT_TRIGGER,
+                    time=self.net.sim.now,
+                    node=sender,
+                    port=in_port,
+                    queue=queue,
+                )
+                assert self._handles is not None
+                self._handles["triggers"].inc()  # type: ignore[attr-defined]
+            return frozenset({(hop,)})
+        keep = self.config.max_chain_hops - 1
+        extended = {
+            (chain[-keep:] if keep > 0 else ()) + (hop,) for chain in carried
+        }
+        return frozenset(sorted(extended)[: self.config.max_chains])
+
+    @staticmethod
+    def _account_waits_in(
+        tx: "TxPort", queue: int, in_port: int, in_queue: int
+    ) -> bool:
+        """Does account ``(in_port, in_queue)`` hold packets in this FIFO?"""
+        return any(
+            pkt.in_port == in_port and pkt.in_queue == in_queue
+            for pkt in tx.queues.get(queue, ())
+        )
+
+    def _install_chains(
+        self,
+        switch: str,
+        port: int,
+        queue: int,
+        chains: FrozenSet[PauseChain],
+    ) -> None:
+        stored = self._downstream.setdefault(switch, {})
+        existing = stored.get((port, queue))
+        if existing:
+            merged = sorted(existing | chains)[: self.config.max_chains]
+            stored[(port, queue)] = frozenset(merged)
+        else:
+            stored[(port, queue)] = chains
+
+    def _clear_chains(self, switch: str, port: int, queue: int) -> None:
+        stored = self._downstream.get(switch)
+        if stored is not None:
+            stored.pop((port, queue), None)
+        suspect = self._suspects.pop((switch, port, queue), None)
+        if suspect is not None:
+            self._note_clear(
+                switch,
+                port,
+                queue,
+                CLEAR_RECOVERED if suspect.confirmed else CLEAR_RESUMED,
+            )
+
+    # ------------------------------------------------------------------
+    # Local re-observation scan
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        now = self.net.sim.now
+        for name in sorted(self._downstream):
+            if name not in self.net.switches:
+                continue
+            stored = self._downstream[name]
+            for port, queue in sorted(stored):
+                self._scan_queue(name, port, queue, now)
+        self.net.sim.schedule(self.config.poll, self._scan)
+
+    def _scan_queue(
+        self, name: str, port: int, queue: int, now: float
+    ) -> None:
+        key: DetectKey = (name, port, queue)
+        tx = self.net.switches[name].tx_ports.get(port)
+        chains = self._downstream[name].get((port, queue), frozenset())
+        witness = None
+        if tx is not None and tx.pause.is_paused(queue):
+            witness = self._loop_witness(name, tx, queue, chains)
+        if witness is None:
+            suspect = self._suspects.pop(key, None)
+            if suspect is not None:
+                self._note_clear(
+                    name,
+                    port,
+                    queue,
+                    CLEAR_RECOVERED if suspect.confirmed else CLEAR_BROKEN,
+                )
+            return
+        suspect = self._suspects.get(key)
+        if suspect is None:
+            suspect = _Suspect(first_seen=now, observations=1, chain=witness)
+            self._suspects[key] = suspect
+            self.suspects_raised += 1
+            if self.net.telemetry is not None:
+                self.net.telemetry.emit(
+                    EV_DETECT_SUSPECT,
+                    time=now,
+                    switch=name,
+                    port=port,
+                    queue=queue,
+                    chain_len=len(witness),
+                )
+                assert self._handles is not None
+                self._handles["suspects"].inc()  # type: ignore[attr-defined]
+        else:
+            suspect.observations += 1
+            suspect.chain = witness
+        if (
+            not suspect.confirmed
+            and suspect.observations >= self.config.confirm_scans
+        ):
+            suspect.confirmed = True
+            detection = Detection(
+                time=now,
+                switch=name,
+                port=port,
+                queue=queue,
+                first_seen=suspect.first_seen,
+                observations=suspect.observations,
+                chain=witness,
+            )
+            self.detections.append(detection)
+            if self.net.telemetry is not None:
+                self.net.telemetry.emit(
+                    EV_DETECT_CONFIRM,
+                    time=now,
+                    switch=name,
+                    port=port,
+                    queue=queue,
+                    observations=suspect.observations,
+                    latency=detection.latency,
+                )
+                assert self._handles is not None
+                self._handles["confirms"].inc()  # type: ignore[attr-defined]
+                self._handles["latency"].observe(  # type: ignore[attr-defined]
+                    detection.latency
+                )
+            if self.on_confirm is not None:
+                self.on_confirm(detection)
+
+    def _loop_witness(
+        self,
+        name: str,
+        tx: "TxPort",
+        queue: int,
+        chains: FrozenSet[PauseChain],
+    ) -> Optional[PauseChain]:
+        """The chain closing a wait-for loop through this queue, if any.
+
+        Closure requires *both* halves, entirely locally observable:
+        the pause freezing this queue descends from one of this
+        switch's own accounts (the chain contains ``(name, p, q)``) and
+        that account's packets are waiting in this very queue. Chains
+        merely passing through the same switch on unrelated accounts
+        (diamond fan-in of a congestion tree) do not close a loop.
+        """
+        for chain in sorted(chains):
+            for node, in_port, in_queue in chain:
+                if node != name:
+                    continue
+                if self._account_waits_in(tx, queue, in_port, in_queue):
+                    return chain
+        return None
+
+    def _note_clear(
+        self, switch: str, port: int, queue: int, reason: str
+    ) -> None:
+        now = self.net.sim.now
+        self.clears.append(ClearEvent(now, switch, port, queue, reason))
+        if self.net.telemetry is not None:
+            self.net.telemetry.emit(
+                EV_DETECT_CLEAR,
+                time=now,
+                switch=switch,
+                port=port,
+                queue=queue,
+                reason=reason,
+            )
+            assert self._handles is not None
+            self._handles["clears"].inc(reason=reason)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, docs, the fuzz matrix)
+    # ------------------------------------------------------------------
+    def chains_at(
+        self, switch: str
+    ) -> Dict[Tuple[int, int], FrozenSet[PauseChain]]:
+        """The chain state one switch currently stores (copy)."""
+        return dict(self._downstream.get(switch, {}))
+
+    def suspect_keys(self) -> List[DetectKey]:
+        return sorted(self._suspects)
+
+    def confirmed_keys(self) -> List[DetectKey]:
+        return sorted(d.key for d in self.detections)
+
+    @property
+    def confirms(self) -> int:
+        return len(self.detections)
+
+    def first_confirm_time(self) -> Optional[float]:
+        if not self.detections:
+            return None
+        return self.detections[0].time
+
+    def clear_reasons(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for event in self.clears:
+            tally[event.reason] = tally.get(event.reason, 0) + 1
+        return tally

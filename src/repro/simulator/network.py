@@ -17,7 +17,7 @@ priority (the paper's "without Tagger" baseline).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import PipelineConfig, QueueMap
 from repro.core.planner import TaggerPlan
@@ -82,6 +82,13 @@ class SimNetwork:
         self._pinned: Dict[int, Dict[str, str]] = {}
         self.tracer = None  # optional PacketTracer (see simulator.trace)
         self.transports: Dict[int, object] = {}  # flow_id -> ReliableMessage
+        #: Control-path taps called for every PFC frame sent (the runtime
+        #: deadlock detector registers here; see simulator.detection).
+        self.pfc_observers: List[Callable[[str, int, int, bool], None]] = []
+        #: Egress queues (switch, out_port, queue) under recovery
+        #: quarantine: traffic headed for them is demoted to lossy at the
+        #: owning switch until recovery re-arms the queue.
+        self.quarantined: Set[Tuple[str, int, int]] = set()
 
         self.switches: Dict[str, SimSwitch] = {}
         self.hosts: Dict[str, SimHost] = {}
@@ -280,6 +287,8 @@ class SimNetwork:
             self.config.pfc_delay,
             lambda: target.on_pfc(port, queue, pause),
         )
+        for observer in self.pfc_observers:
+            observer(sender, in_port, queue, pause)
 
     def total_buffered_bytes(self) -> int:
         return sum(s.accounting.total_bytes for s in self.switches.values())

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.pipeline import LOSSY_QUEUE, PipelineConfig
+from repro.core.tags import LOSSY_TAG
 from repro.exceptions import RoutingError
 from repro.simulator.buffers import IngressAccounting
 from repro.simulator.metrics import (
@@ -101,6 +102,19 @@ class SimSwitch:
                     packet.flow_id,
                 )
         egress_queue = self.pipeline.classify_egress(old_tag, new_tag)
+        if (
+            self.net.quarantined
+            and egress_queue != LOSSY_QUEUE
+            and (self.name, out_port, egress_queue) in self.net.quarantined
+        ):
+            # Recovery quarantined this egress queue: run it lossy (the
+            # new tag rides along so downstream hops stay lossy too).
+            metrics.record_demotion(
+                self.net.sim.now, self.name, new_tag, LOSSY_TAG,
+                packet.flow_id,
+            )
+            new_tag = LOSSY_TAG
+            egress_queue = LOSSY_QUEUE
         packet.tag = new_tag
         packet.in_port = in_port
         packet.in_queue = in_queue

@@ -15,13 +15,17 @@ baseline for comparison, not part of Tagger.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.pipeline import LOSSY_QUEUE
 from repro.obs.events import EV_SIM_WATCHDOG
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.detect.arbiter import RecoveryArbiter
     from repro.simulator.network import SimNetwork
+
+#: Owner name the watchdog uses when an arbiter mediates recovery.
+WATCHDOG_OWNER = "watchdog"
 
 #: Drop reason recorded for packets discarded by the watchdog.
 DROP_WATCHDOG = "pfc_watchdog"
@@ -56,6 +60,12 @@ class PfcWatchdog:
             ``rearm_multiplier`` (capped at ``rearm_max``), so a queue
             that storms over and over backs off instead of re-triggering
             every poll tick.
+        arbiter: Optional single-recovery-owner arbiter shared with the
+            detector-driven quarantine
+            (:class:`repro.detect.RecoveryArbiter`). When set, the
+            watchdog only discards a queue it can acquire, and holds
+            ownership for the storm episode — so a queue the detector
+            already quarantined is never double-demoted, and vice versa.
         events: Log of storms (first trigger per episode; while an
             episode persists, subsequent drained packets are added to
             drops but not logged as new events).
@@ -67,6 +77,8 @@ class PfcWatchdog:
     rearm_base: float = 0.0
     rearm_multiplier: float = 2.0
     rearm_max: float = 1.0
+    arbiter: Optional["RecoveryArbiter"] = None
+    arbitration_skips: int = 0
     events: List[StormEvent] = field(default_factory=list)
     _stalled_since: Dict[QueueKey, float] = field(default_factory=dict)
     _storming: Dict[QueueKey, bool] = field(default_factory=dict)
@@ -105,6 +117,10 @@ class PfcWatchdog:
                             self._rearm_until[key] = now + self.rearm_delay(
                                 count
                             )
+                            if self.arbiter is not None:
+                                self.arbiter.release(
+                                    switch_name, queue, WATCHDOG_OWNER
+                                )
                         continue
                     if now < self._rearm_until.get(key, 0.0):
                         continue
@@ -114,6 +130,13 @@ class PfcWatchdog:
                     if tx.paused_duration(queue) < self.detection_time:
                         continue
                     if tx.depth(queue) == 0:
+                        continue
+                    if self.arbiter is not None and not self.arbiter.acquire(
+                        switch_name, queue, WATCHDOG_OWNER
+                    ):
+                        # Another recovery (detector quarantine) owns
+                        # this queue: skip, don't double-demote.
+                        self.arbitration_skips += 1
                         continue
                     dropped = self._discard(switch_name, tx, queue)
                     if dropped and not self._storming.get(key, False):

@@ -1,0 +1,56 @@
+"""Unit tests for the single-owner recovery arbiter."""
+
+from repro.detect import RecoveryArbiter
+
+
+class TestRecoveryArbiter:
+    def test_first_acquirer_wins(self):
+        arb = RecoveryArbiter()
+        assert arb.acquire("S1", 3, "detector")
+        assert not arb.acquire("S1", 3, "watchdog")
+        assert arb.owner_of("S1", 3) == "detector"
+
+    def test_reacquire_is_idempotent(self):
+        arb = RecoveryArbiter()
+        assert arb.acquire("S1", 3, "watchdog")
+        assert arb.acquire("S1", 3, "watchdog")
+        assert arb.owner_of("S1", 3) == "watchdog"
+
+    def test_distinct_queues_are_independent(self):
+        arb = RecoveryArbiter()
+        assert arb.acquire("S1", 3, "detector")
+        assert arb.acquire("S1", 4, "watchdog")
+        assert arb.acquire("S2", 3, "watchdog")
+        assert arb.owner_of("S1", 3) == "detector"
+        assert arb.owner_of("S1", 4) == "watchdog"
+
+    def test_release_frees_the_key(self):
+        arb = RecoveryArbiter()
+        arb.acquire("S1", 3, "detector")
+        arb.release("S1", 3, "detector")
+        assert arb.owner_of("S1", 3) is None
+        assert arb.acquire("S1", 3, "watchdog")
+
+    def test_non_owner_release_is_noop(self):
+        arb = RecoveryArbiter()
+        arb.acquire("S1", 3, "detector")
+        arb.release("S1", 3, "watchdog")
+        assert arb.owner_of("S1", 3) == "detector"
+
+    def test_release_without_owner_is_noop(self):
+        arb = RecoveryArbiter()
+        arb.release("S1", 3, "watchdog")
+        assert arb.owner_of("S1", 3) is None
+
+    def test_audit_log_and_denials(self):
+        arb = RecoveryArbiter()
+        arb.acquire("S1", 3, "detector")
+        arb.acquire("S1", 3, "watchdog")
+        arb.acquire("S1", 3, "watchdog")
+        assert arb.decisions == [
+            ("S1", 3, "detector", True),
+            ("S1", 3, "watchdog", False),
+            ("S1", 3, "watchdog", False),
+        ]
+        assert arb.denials("watchdog") == 2
+        assert arb.denials("detector") == 0

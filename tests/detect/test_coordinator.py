@@ -1,0 +1,197 @@
+"""Recovery coordination: quarantine, flap suppression, arbitration.
+
+Includes the deterministic watchdog/detector interleaving tests: both
+recovery mechanisms act on the same victim queue at the *same simulated
+instant*, and the simulator's FIFO tie-break decides the single owner —
+whichever acquires first wins, the other skips, never a double-demote.
+"""
+
+import pytest
+
+from repro.core.pipeline import LOSSY_QUEUE
+from repro.detect import (
+    DETECTOR_OWNER,
+    RecoveryArbiter,
+    RecoveryCoordinator,
+)
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    DeadlockDetector,
+    Flow,
+    PfcWatchdog,
+    SimNetwork,
+    find_deadlock_cycle,
+    pin_path,
+)
+from repro.simulator.watchdog import WATCHDOG_OWNER
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def deadlock_net(testbed):
+    net = SimNetwork(testbed, shortest_path_tables(testbed))
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=8201)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=8202,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+def confirmed_deadlock(testbed):
+    """A net run into a confirmed deadlock, recovery NOT yet attempted.
+
+    Returns (net, detection) with the victim queue still paused and
+    backlogged at ``net.sim.now`` — ready for manual recovery calls.
+    """
+    net = deadlock_net(testbed)
+    detector = DeadlockDetector(net)
+    detector.install()
+    net.run(0.15)
+    assert detector.confirms >= 1
+    assert find_deadlock_cycle(net) is not None
+    return net, detector.detections[0]
+
+
+class TestHoldSchedule:
+    def test_exponential_capped(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        coord = RecoveryCoordinator(
+            net, hold=0.05, flap_multiplier=2.0, hold_max=0.3
+        )
+        holds = [coord.hold_for(e) for e in range(1, 6)]
+        assert holds == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+    def test_custom_multiplier(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        coord = RecoveryCoordinator(
+            net, hold=0.01, flap_multiplier=3.0, hold_max=1.0
+        )
+        assert coord.hold_for(3) == pytest.approx(0.09)
+
+
+class TestQuarantine:
+    def test_full_loop_breaks_deadlock_losslessly(self, testbed):
+        """Detect -> quarantine -> drain -> re-arm, zero lossless loss:
+        the headline advantage over the watchdog/breaker baselines."""
+        net = deadlock_net(testbed)
+        coordinator = RecoveryCoordinator(
+            net, arbiter=RecoveryArbiter(), hold=0.05
+        )
+        detector = DeadlockDetector(net, on_confirm=coordinator.on_confirm)
+        detector.install()
+        net.run(0.4)
+        assert len(coordinator.quarantines) >= 1
+        assert sum(q.moved for q in coordinator.quarantines) > 0
+        assert find_deadlock_cycle(net) is None
+        assert net.metrics.drops.get("lossless_overflow", 0) == 0
+        assert net.metrics.total_drops() == 0
+        assert coordinator.rearms == len(coordinator.quarantines)
+        assert net.quarantined == set()  # all queues back in service
+        for flow_id in (8201, 8202):  # forward progress restored
+            assert net.metrics.mean_rate(flow_id, 0.35, 0.4) > 1e8
+
+    def test_quarantine_moves_packets_to_lossy_queue(self, testbed):
+        net, detection = confirmed_deadlock(testbed)
+        switch, port, queue = detection.key
+        tx = net.switches[switch].tx_ports[port]
+        backlog = len(tx.queues[queue])
+        assert backlog > 0
+        coordinator = RecoveryCoordinator(net)
+        coordinator.on_confirm(detection)
+        event = coordinator.quarantines[0]
+        assert event.moved == backlog
+        assert len(tx.queues[queue]) == 0
+        # The lossy queue is never paused, so the head packet may
+        # already be in flight on the wire.
+        assert len(tx.queues[LOSSY_QUEUE]) >= backlog - 1
+        assert (switch, port, queue) in net.quarantined
+
+    def test_reconfirm_while_held_is_ignored(self, testbed):
+        net, detection = confirmed_deadlock(testbed)
+        coordinator = RecoveryCoordinator(net)
+        coordinator.on_confirm(detection)
+        coordinator.on_confirm(detection)  # re-confirm during the hold
+        assert len(coordinator.quarantines) == 1
+
+    def test_flap_suppression_grows_the_hold(self, testbed):
+        net, detection = confirmed_deadlock(testbed)
+        coordinator = RecoveryCoordinator(
+            net, hold=0.02, flap_multiplier=2.0, hold_max=1.0
+        )
+        coordinator.on_confirm(detection)
+        net.run(net.sim.now + 0.03)  # past the first hold: re-armed
+        assert coordinator.rearms == 1
+        coordinator.on_confirm(detection)  # the deadlock flaps back
+        episodes = [q.episode for q in coordinator.quarantines]
+        holds = [q.hold for q in coordinator.quarantines]
+        assert episodes == [1, 2]
+        assert holds == [0.02, 0.04]
+
+
+class TestInterleaving:
+    """Same victim, same instant: FIFO order picks the single owner."""
+
+    def test_detector_first_watchdog_skips(self, testbed):
+        net, detection = confirmed_deadlock(testbed)
+        arbiter = RecoveryArbiter()
+        coordinator = RecoveryCoordinator(net, arbiter=arbiter, hold=0.5)
+        watchdog = PfcWatchdog(
+            net, detection_time=0.02, poll=0.005, arbiter=arbiter
+        )
+        t0 = net.sim.now + 0.005
+        net.at(t0, lambda: coordinator.on_confirm(detection))
+        net.at(t0, watchdog._tick)  # same timestamp, scheduled second
+        net.run(t0)
+        switch, port, queue = detection.key
+        assert arbiter.owner_of(switch, queue) == DETECTOR_OWNER
+        assert coordinator.quarantines[0].moved > 0
+        # The watchdog never stormed the quarantined queue.
+        assert (switch, port, queue) not in {
+            (e.switch, e.port, e.queue) for e in watchdog.events
+        }
+        granted = [d for d in arbiter.decisions if d[3]]
+        assert (switch, queue, DETECTOR_OWNER, True) in granted
+        assert (switch, queue, WATCHDOG_OWNER, True) not in granted
+
+    def test_watchdog_first_detector_skips(self, testbed):
+        net, detection = confirmed_deadlock(testbed)
+        arbiter = RecoveryArbiter()
+        coordinator = RecoveryCoordinator(net, arbiter=arbiter, hold=0.5)
+        watchdog = PfcWatchdog(
+            net, detection_time=0.02, poll=0.005, arbiter=arbiter
+        )
+        t0 = net.sim.now + 0.005
+        net.at(t0, watchdog._tick)  # watchdog wins the tie this time
+        net.at(t0, lambda: coordinator.on_confirm(detection))
+        net.run(t0)
+        switch, port, queue = detection.key
+        assert arbiter.owner_of(switch, queue) == WATCHDOG_OWNER
+        assert coordinator.arbitration_skips == 1
+        assert coordinator.quarantines == []
+        assert (switch, port, queue) not in net.quarantined
+        assert (switch, queue, DETECTOR_OWNER, False) in arbiter.decisions
+
+    def test_watchdog_releases_after_episode(self, testbed):
+        """Ownership is per-episode: once the watchdog's storm ends the
+        key is free again for either mechanism."""
+        net = deadlock_net(testbed)
+        arbiter = RecoveryArbiter()
+        watchdog = PfcWatchdog(
+            net, detection_time=0.02, poll=0.005, arbiter=arbiter
+        )
+        watchdog.install()
+        net.run(0.3)
+        assert watchdog.storms >= 1
+        for event in watchdog.events:
+            assert arbiter.owner_of(event.switch, event.queue) is None

@@ -1,0 +1,88 @@
+"""Detection-driven plan rollback through the deploy orchestrator."""
+
+from repro.core import TaggerPlan
+from repro.detect import RecoveryCoordinator, RolloutDriver
+from repro.routing import shortest_path_tables
+from repro.simulator import SimNetwork
+
+
+def clos_plan(testbed):
+    return TaggerPlan.for_clos(testbed, max_bounces=1)
+
+
+class TestRolloutDriver:
+    def test_rollback_converges_and_empties_the_victim(self, testbed):
+        plan = clos_plan(testbed)
+        driver = RolloutDriver(testbed, plan.tables, seed=3)
+        assert driver.table_for("L1").rules  # plan rules deployed
+        report = driver.rollback("L1")
+        assert report.outcome == driver.converged_outcome
+        assert driver.table_for("L1").rules == {}
+        # Other switches keep their plan tables.
+        assert driver.table_for("S1").rules == plan.tables["S1"].rules
+
+    def test_rollbacks_compose(self, testbed):
+        plan = clos_plan(testbed)
+        driver = RolloutDriver(testbed, plan.tables, seed=3)
+        driver.rollback("L1")
+        driver.rollback("S1")
+        assert driver.table_for("L1").rules == {}
+        assert driver.table_for("S1").rules == {}
+        assert driver.table_for("L2").rules == plan.tables["L2"].rules
+        assert sorted(driver.reports) == ["L1", "S1"]
+
+    def test_driver_copies_do_not_alias_the_plan(self, testbed):
+        plan = clos_plan(testbed)
+        driver = RolloutDriver(testbed, plan.tables, seed=3)
+        driver.rollback("L1")
+        assert plan.tables["L1"].rules  # the source plan is untouched
+
+    def test_unknown_switch_gets_fresh_agent(self, testbed):
+        plan = clos_plan(testbed)
+        # Drop one switch from the deployed state: the driver must
+        # still field an agent for it (extra_switches path).
+        tables = {k: v for k, v in plan.tables.items() if k != "T1"}
+        driver = RolloutDriver(testbed, tables, seed=3)
+        report = driver.rollback("T1")
+        assert report.outcome == driver.converged_outcome
+        assert driver.table_for("T1").rules == {}
+
+
+class TestCoordinatorRollback:
+    def test_confirm_rolls_the_live_switch_back(self, testbed):
+        """A confirmed detection under a deployed plan wipes the victim
+        switch to safeguard-only tables on the live pipeline too."""
+        from repro.obs import Telemetry
+        from repro.obs.events import EV_DETECT_ROLLBACK
+        from repro.simulator import Detection
+
+        telemetry = Telemetry()
+        plan = clos_plan(testbed)
+        net = SimNetwork.with_plan(
+            testbed, shortest_path_tables(testbed), plan, telemetry=telemetry
+        )
+        driver = RolloutDriver(testbed, plan.tables, seed=3)
+        coordinator = RecoveryCoordinator(net, rollout_driver=driver)
+        live = net.switches["L1"]
+        assert live.pipeline.rule_table.rules  # plan active pre-rollback
+        detection = Detection(
+            time=0.0,
+            switch="L1",
+            port=next(iter(live.tx_ports)),
+            queue=3,
+            first_seen=0.0,
+            observations=3,
+            chain=(("L1", 0, 3),),
+        )
+        coordinator.on_confirm(detection)
+        assert coordinator.rollback_outcomes == {
+            "L1": driver.converged_outcome
+        }
+        assert live.pipeline.rule_table.rules == {}
+        events = telemetry.bus.events(EV_DETECT_ROLLBACK)
+        assert [e.fields["outcome"] for e in events] == [
+            driver.converged_outcome
+        ]
+        # One rollback per switch per run: a re-confirm is a no-op.
+        coordinator._rollback("L1")
+        assert len(driver.reports) == 1

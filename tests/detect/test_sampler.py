@@ -1,0 +1,118 @@
+"""Seeded oracle sampler + oracle/detector agreement regression."""
+
+import pytest
+
+from repro.routing import shortest_path_tables
+from repro.simulator import (
+    DeadlockDetector,
+    Flow,
+    OracleSampler,
+    SimNetwork,
+    pin_path,
+)
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def deadlock_net(testbed):
+    net = SimNetwork(testbed, shortest_path_tables(testbed))
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=8301)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=8302,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+class TestOracleSampler:
+    def test_seeded_phase_is_deterministic(self, testbed):
+        times = []
+        for _ in range(2):
+            net = deadlock_net(testbed)
+            sampler = OracleSampler(net, period=0.005, seed=3)
+            sampler.install()
+            net.run(0.2)
+            times.append([s.time for s in sampler.samples])
+        assert times[0] == times[1]
+
+    def test_different_seeds_shift_the_phase(self, testbed):
+        phases = set()
+        for seed in (0, 1, 2):
+            net = deadlock_net(testbed)
+            sampler = OracleSampler(net, period=0.005, seed=seed)
+            sampler.install()
+            net.run(0.05)
+            phases.add(sampler.samples[0].time)
+        assert len(phases) == 3
+
+    def test_explicit_phase_pins_the_clock(self, testbed):
+        net = deadlock_net(testbed)
+        sampler = OracleSampler(net, period=0.01, phase=0.002)
+        sampler.install()
+        net.run(0.05)
+        ticks = [s.time for s in sampler.samples]
+        assert ticks[0] == pytest.approx(0.002)
+        assert ticks[1] == pytest.approx(0.012)
+
+    def test_install_idempotent(self, testbed):
+        net = deadlock_net(testbed)
+        sampler = OracleSampler(net, period=0.005, seed=0)
+        sampler.install()
+        sampler.install()
+        net.run(0.05)
+        ticks = [s.time for s in sampler.samples]
+        assert len(ticks) == len(set(ticks))
+
+    def test_records_first_cycle(self, testbed):
+        net = deadlock_net(testbed)
+        sampler = OracleSampler(net, period=0.005, seed=0)
+        sampler.install()
+        net.run(0.3)
+        assert sampler.deadlock_seen
+        assert sampler.first_cycle_time is not None
+        assert sampler.first_cycle  # the witnessing cycle is kept
+        assert sampler.deadlocked_at_end()
+
+
+class TestAgreement:
+    """Regression: local detector vs omniscient oracle, one clock."""
+
+    def test_agree_on_deadlock(self, testbed):
+        net = deadlock_net(testbed)
+        sampler = OracleSampler(net, period=0.005, seed=0)
+        sampler.install()
+        detector = DeadlockDetector(net)
+        detector.install()
+        net.run(0.3)
+        assert sampler.deadlock_seen
+        assert detector.confirms >= 1
+        # The detector lags the oracle by a bounded confirmation window.
+        latency = detector.first_confirm_time() - sampler.first_cycle_time
+        bound = detector.config.poll * (detector.config.confirm_scans + 1)
+        assert 0.0 <= latency <= bound + 0.005
+        # Pinned numbers so any behavioural drift is loud.
+        assert sampler.first_cycle_time == pytest.approx(0.0642, abs=1e-3)
+        assert latency == pytest.approx(0.0108, abs=2e-3)
+
+    def test_agree_on_congestion_only(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        for i, src in enumerate(("H5", "H9", "H13")):
+            net.add_flow(Flow(src=src, dst="H1", flow_id=8310 + i))
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 5e7))
+        sampler = OracleSampler(net, period=0.005, seed=0)
+        sampler.install()
+        detector = DeadlockDetector(net)
+        detector.install()
+        net.run(0.2)
+        assert not sampler.deadlock_seen  # ground truth: no cycle
+        assert detector.confirms == 0  # and no false positive

@@ -14,7 +14,8 @@ class TestTaxonomy:
         for kind in EVENT_SCHEMA:
             subsystem, _, action = kind.partition(".")
             assert subsystem in (
-                "sim", "trace", "replan", "deploy", "fuzz", "selfcheck",
+                "sim", "detect", "trace", "replan", "deploy", "fuzz",
+                "selfcheck",
             )
             assert action
 

@@ -1,0 +1,256 @@
+"""State-machine tests for the DCFIT-style runtime deadlock detector.
+
+Every transition of the suspect lifecycle is pinned: fresh trigger
+creation, chain propagation, loop-closure suspicion, re-observation
+confirmation, and all three clear exits (resumed / broken / recovered).
+The omniscient cycle finder is used only as ground truth.
+"""
+
+import pytest
+
+from repro.routing import install_loop, shortest_path_tables
+from repro.simulator import (
+    CLEAR_BROKEN,
+    CLEAR_RECOVERED,
+    CLEAR_RESUMED,
+    DeadlockDetector,
+    DetectorConfig,
+    Flow,
+    SimNetwork,
+    find_deadlock_cycle,
+    pin_path,
+)
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+
+
+def deadlock_net(testbed):
+    """The Fig. 10 bounce deadlock (same trigger as the watchdog tests)."""
+    net = SimNetwork(testbed, shortest_path_tables(testbed))
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=8101)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=8102,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+def install_detector(net, **overrides) -> DeadlockDetector:
+    config = DetectorConfig(**overrides) if overrides else DetectorConfig()
+    detector = DeadlockDetector(net, config)
+    detector.install()
+    return detector
+
+
+class TestTriggers:
+    def test_slow_receiver_originates_triggers_but_no_suspects(self, testbed):
+        """A stalled NIC is the canonical initial trigger: PAUSEs fan
+        out as a congestion *tree*, chains install upstream, and the
+        loop test never fires."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H9", dst="H1", flow_id=8103))
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 1e5))
+        net.at(0.15, lambda: net.set_receiver_rate("H1", None))
+        detector = install_detector(net)
+        net.run(0.2)
+        assert detector.triggers_originated > 0
+        assert detector.suspects_raised == 0
+        assert detector.confirms == 0
+
+    def test_healthy_fabric_is_silent(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H9", flow_id=8104))
+        detector = install_detector(net)
+        net.run(0.1)
+        assert detector.triggers_originated == 0
+        assert detector.suspects_raised == 0
+        assert detector.detections == []
+
+    def test_incast_congestion_never_confirms(self, testbed):
+        """Diamond fan-in (many senders, one receiver) pauses plenty of
+        queues but cannot close a chain through a switch's own account."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        for i, src in enumerate(("H5", "H9", "H13")):
+            net.add_flow(Flow(src=src, dst="H1", flow_id=8110 + i))
+        detector = install_detector(net)
+        net.run(0.1)
+        assert net.metrics.pfc.pause_count > 0  # congestion did pause
+        assert detector.suspects_raised == 0
+        assert detector.confirms == 0
+
+
+class TestPropagation:
+    def test_chains_extend_hop_by_hop(self, testbed):
+        """Multi-hop back-pressure from a stalled receiver installs
+        chains whose length grows with distance from the trigger."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H9", dst="H1", flow_id=8105))
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 1e5))
+        detector = install_detector(net)
+        net.run(0.1)
+        lengths = set()
+        for switch in net.switches:
+            for chains in detector.chains_at(switch).values():
+                for chain in chains:
+                    lengths.add(len(chain))
+        assert lengths, "back-pressure never propagated a chain"
+        assert max(lengths) > 1  # extended beyond the initial trigger
+
+    def test_max_chain_hops_truncates(self, testbed):
+        net = deadlock_net(testbed)
+        detector = install_detector(net, max_chain_hops=2)
+        net.run(0.3)
+        for switch in net.switches:
+            for chains in detector.chains_at(switch).values():
+                assert all(len(chain) <= 2 for chain in chains)
+
+    def test_max_chains_caps_stored_set(self, testbed):
+        net = deadlock_net(testbed)
+        detector = install_detector(net, max_chains=1)
+        net.run(0.3)
+        for switch in net.switches:
+            for chains in detector.chains_at(switch).values():
+                assert len(chains) <= 1
+
+    def test_install_merge_is_capped_and_deterministic(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        detector = DeadlockDetector(net, DetectorConfig(max_chains=2))
+        a = frozenset({(("A", 1, 3),)})
+        b = frozenset({(("B", 1, 3),), (("C", 1, 3),)})
+        detector._install_chains("T1", 0, 3, a)
+        detector._install_chains("T1", 0, 3, b)
+        merged = detector.chains_at("T1")[(0, 3)]
+        # Sorted union, first max_chains kept.
+        assert merged == frozenset({(("A", 1, 3),), (("B", 1, 3),)})
+
+
+class TestConfirmation:
+    def test_deadlock_is_suspected_then_confirmed(self, testbed):
+        net = deadlock_net(testbed)
+        detector = install_detector(net)
+        net.run(0.3)
+        assert find_deadlock_cycle(net) is not None  # ground truth
+        assert detector.suspects_raised >= 1
+        assert detector.confirms >= 1
+        detection = detector.detections[0]
+        assert detection.observations >= detector.config.confirm_scans
+        # The witness chain closes through the detecting switch itself.
+        assert any(node == detection.switch for node, _, _ in detection.chain)
+        assert detection.latency == pytest.approx(
+            (detection.observations - 1) * detector.config.poll
+        )
+
+    def test_confirmed_keys_are_on_the_oracle_cycle(self, testbed):
+        net = deadlock_net(testbed)
+        detector = install_detector(net)
+        net.run(0.3)
+        cycle = find_deadlock_cycle(net)
+        assert cycle is not None
+        cycle_switches = {node for node, _, _ in cycle}
+        for switch, _, _ in detector.confirmed_keys():
+            assert switch in cycle_switches
+
+    def test_confirm_scans_delays_confirmation(self, testbed):
+        fast = deadlock_net(testbed)
+        fast_det = install_detector(fast, confirm_scans=2)
+        fast.run(0.3)
+        slow = deadlock_net(testbed)
+        slow_det = install_detector(slow, confirm_scans=8)
+        slow.run(0.3)
+        assert fast_det.confirms >= 1 and slow_det.confirms >= 1
+        assert slow_det.first_confirm_time() > fast_det.first_confirm_time()
+
+    def test_routing_loop_deadlock_detected(self, testbed):
+        """The Fig. 11 routing-loop deadlock (a different formation
+        mechanism from the bounce CBD) is also confirmed."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(Flow(src="H1", dst="H5", flow_id=8106))
+        net.add_flow(
+            Flow(
+                src="H2",
+                dst="H6",
+                pinned_next_hops=pin_path(("H2", "T1", "L1", "T2", "H6")),
+                flow_id=8107,
+            )
+        )
+        net.at(0.02, lambda: install_loop(net.table, "H5", "T1", "L1"))
+        detector = install_detector(net)
+        net.run(0.3)
+        assert find_deadlock_cycle(net) is not None
+        assert detector.confirms >= 1
+
+    def test_install_idempotent(self, testbed):
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        detector = DeadlockDetector(net)
+        detector.install()
+        detector.install()
+        net.run(0.02)
+        assert net.sim.pending_events < 50
+
+
+class TestClears:
+    def test_resume_clears_unconfirmed_suspect(self, testbed):
+        """The transient-congestion exit: a RESUME arriving while the
+        queue is merely a suspect wipes the chains and logs
+        ``resumed`` — no confirmation, no recovery action."""
+        net = deadlock_net(testbed)
+        detector = install_detector(net, confirm_scans=10_000)
+        net.run(0.3)
+        assert detector.suspects_raised >= 1
+        assert detector.confirms == 0
+        key = detector.suspect_keys()[0]
+        detector._clear_chains(*key)
+        assert detector.clear_reasons() == {CLEAR_RESUMED: 1}
+        assert key not in detector.suspect_keys()
+
+    def test_broken_witness_clears_suspect(self, testbed):
+        """If the loop evidence evaporates mid-confirmation (packets
+        left the FIFO) the next scan dismisses the suspect as
+        ``broken`` instead of ever confirming it."""
+        net = deadlock_net(testbed)
+        detector = install_detector(net, confirm_scans=10_000)
+        net.run(0.3)
+        switch, port, queue = detector.suspect_keys()[0]
+        tx = net.switches[switch].tx_ports[port]
+        fifo = tx.queues[queue]
+        while fifo:  # drain the witness packets out-of-band
+            packet = fifo.popleft()
+            tx.queued_bytes[queue] -= packet.size
+        detector._scan_queue(switch, port, queue, net.sim.now)
+        assert detector.clear_reasons() == {CLEAR_BROKEN: 1}
+
+    def test_recovered_after_confirmation(self, testbed):
+        """A *confirmed* queue whose pause finally resumes logs
+        ``recovered`` — the detector's own episode-complete marker."""
+        net = deadlock_net(testbed)
+        detector = install_detector(net)
+        net.run(0.3)
+        assert detector.confirms >= 1
+        switch, port, queue = detector.detections[0].key
+        detector._clear_chains(switch, port, queue)
+        assert detector.clear_reasons().get(CLEAR_RECOVERED) == 1
+
+    def test_self_resolving_congestion_leaves_no_state(self, testbed):
+        """After the stall lifts and the fabric drains, RESUMEs wipe
+        the chain store — no stale suspects accumulate."""
+        net = SimNetwork(testbed, shortest_path_tables(testbed))
+        net.add_flow(
+            Flow(src="H9", dst="H1", flow_id=8108, total_bytes=2_000_000)
+        )
+        net.at(0.02, lambda: net.set_receiver_rate("H1", 1e7))
+        net.at(0.06, lambda: net.set_receiver_rate("H1", None))
+        detector = install_detector(net)
+        net.run(0.3)
+        assert detector.suspect_keys() == []
+        for switch in net.switches:
+            assert detector.chains_at(switch) == {}
