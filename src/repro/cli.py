@@ -591,6 +591,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         strict_oracle=args.strict_oracle,
         detect_budget=args.detect_budget,
         detect_duration=args.detect_duration,
+        workers=args.workers,
     )
     telemetry = _make_telemetry(args)
     report = run_fuzz(config, telemetry=telemetry)
@@ -1092,6 +1093,13 @@ def make_parser() -> argparse.ArgumentParser:
         default=0.3,
         dest="detect_duration",
         help="sim seconds per detection-matrix cell",
+    )
+    fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the scenario sweep; any count yields "
+        "the identical report (modulo elapsed time)",
     )
     fuzz.add_argument("--report", type=str, default=None)
     add_telemetry_arg(fuzz)

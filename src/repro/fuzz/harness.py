@@ -16,17 +16,25 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.crosscheck import cross_check
 from repro.fuzz.faults import check_fault_name
-from repro.fuzz.oracle import run_oracle
+from repro.fuzz.oracle import (
+    OracleOutcome,
+    _host_endpoints,
+    find_cbd_pairs,
+    run_oracle,
+)
 from repro.fuzz.scenarios import Scenario, ScenarioGenerator
 from repro.fuzz.shrink import shrink_scenario
 from repro.obs.events import EV_FUZZ_SCENARIO, EV_FUZZ_VIOLATION
 from repro.obs.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.detect.matrix import MatrixOutcome
 
 #: Oracle invariants (layered on top of the cross-check table).
 ORACLE_TAGGED_DEADLOCK = "oracle-tagged-deadlock"
@@ -64,6 +72,12 @@ class FuzzConfig:
     #: (Tagger-on vs detection-only vs both; 0 disables the stage).
     detect_budget: int = 0
     detect_duration: float = 0.3
+    #: Worker processes for the scenario sweep (1 = the serial loop).
+    #: Any count produces the identical report (modulo
+    #: ``elapsed_seconds``); with more than one worker the wall-clock
+    #: time budget is enforced at chunk boundaries rather than per
+    #: iteration.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.inject_fault is not None:
@@ -181,7 +195,14 @@ _CHECKS_PER_SCENARIO = 17
 def run_fuzz(
     config: FuzzConfig, telemetry: Optional[Telemetry] = None
 ) -> FuzzReport:
-    """Run the full differential fuzzing loop."""
+    """Run the full differential fuzzing loop.
+
+    With ``config.workers > 1`` the scenario sweep fans out over a
+    forked pool (:mod:`repro.simulator.sweep`); the report is identical
+    to the serial run's, modulo ``elapsed_seconds``.
+    """
+    if config.workers > 1:
+        return _run_fuzz_parallel(config, telemetry)
     started = time.monotonic()
     report = FuzzReport(config=config, telemetry=telemetry)
     generator = ScenarioGenerator(config.seed)
@@ -193,22 +214,7 @@ def run_fuzz(
         if config.time_budget is not None and elapsed > config.time_budget:
             break
         scenario = next(generator)
-        report.iterations_run += 1
-        report.scenarios_by_kind[scenario.kind] = (
-            report.scenarios_by_kind.get(scenario.kind, 0) + 1
-        )
-        if telemetry is not None:
-            telemetry.emit(
-                EV_FUZZ_SCENARIO,
-                time=elapsed,
-                scenario=scenario.scenario_id,
-                scenario_kind=scenario.kind,
-            )
-            telemetry.registry.counter(
-                "fuzz_scenarios_total",
-                "Scenarios generated, by kind.",
-                labelnames=("kind",),
-            ).inc(kind=scenario.kind)
+        _note_scenario(report, scenario, elapsed)
 
         try:
             result = cross_check(scenario, fault=config.inject_fault)
@@ -232,40 +238,44 @@ def run_fuzz(
                     report.oracle_control_deadlocks += 1
             else:
                 oracle_left -= 1
-                report.oracle_runs += 1
-                if outcome.control_deadlocked:
-                    report.oracle_control_deadlocks += 1
-                else:
-                    report.oracle_misses.append(scenario.scenario_id)
-                    if config.strict_oracle:
-                        report.note_violation(
-                            scenario.scenario_id,
-                            ORACLE_INSENSITIVE,
-                            "untagged control run with a CBD path pair "
-                            "did not deadlock",
-                            now=elapsed,
-                        )
-                if outcome.tagged_deadlocked:
-                    _record_failure(
-                        report,
-                        scenario,
-                        [ORACLE_TAGGED_DEADLOCK],
-                        [
-                            f"{ORACLE_TAGGED_DEADLOCK}: simulator found a "
-                            f"wait-for cycle under the Tagger plan "
-                            f"(trigger={outcome.trigger_pair}, "
-                            f"pairs_tried={outcome.pairs_tried})"
-                        ],
-                        iteration,
-                        shrinkable=False,
-                        now=elapsed,
-                    )
+                _apply_oracle_outcome(
+                    report, scenario, outcome, iteration, now=elapsed
+                )
 
         if detect_left > 0:
             detect_left -= _run_detect_stage(
                 report, scenario, now=elapsed
             )
 
+    return _finalize_report(report, telemetry, started)
+
+
+def _note_scenario(
+    report: FuzzReport, scenario: Scenario, elapsed: float
+) -> None:
+    """Count one drawn scenario and mirror it onto the telemetry bus."""
+    report.iterations_run += 1
+    report.scenarios_by_kind[scenario.kind] = (
+        report.scenarios_by_kind.get(scenario.kind, 0) + 1
+    )
+    telemetry = report.telemetry
+    if telemetry is not None:
+        telemetry.emit(
+            EV_FUZZ_SCENARIO,
+            time=elapsed,
+            scenario=scenario.scenario_id,
+            scenario_kind=scenario.kind,
+        )
+        telemetry.registry.counter(
+            "fuzz_scenarios_total",
+            "Scenarios generated, by kind.",
+            labelnames=("kind",),
+        ).inc(kind=scenario.kind)
+
+
+def _finalize_report(
+    report: FuzzReport, telemetry: Optional[Telemetry], started: float
+) -> FuzzReport:
     report.elapsed_seconds = time.monotonic() - started
     if telemetry is not None:
         telemetry.registry.counter(
@@ -276,6 +286,49 @@ def run_fuzz(
             "fuzz_elapsed_seconds", "Wall seconds the last fuzz run took."
         ).set(report.elapsed_seconds)
     return report
+
+
+def _apply_oracle_outcome(
+    report: FuzzReport,
+    scenario: Scenario,
+    outcome: OracleOutcome,
+    iteration: int,
+    now: float = 0.0,
+) -> None:
+    """Fold one *ran* oracle outcome into the report.
+
+    Shared verbatim by the serial loop and the parallel fold so the two
+    paths cannot drift.
+    """
+    config = report.config
+    report.oracle_runs += 1
+    if outcome.control_deadlocked:
+        report.oracle_control_deadlocks += 1
+    else:
+        report.oracle_misses.append(scenario.scenario_id)
+        if config.strict_oracle:
+            report.note_violation(
+                scenario.scenario_id,
+                ORACLE_INSENSITIVE,
+                "untagged control run with a CBD path pair "
+                "did not deadlock",
+                now=now,
+            )
+    if outcome.tagged_deadlocked:
+        _record_failure(
+            report,
+            scenario,
+            [ORACLE_TAGGED_DEADLOCK],
+            [
+                f"{ORACLE_TAGGED_DEADLOCK}: simulator found a "
+                f"wait-for cycle under the Tagger plan "
+                f"(trigger={outcome.trigger_pair}, "
+                f"pairs_tried={outcome.pairs_tried})"
+            ],
+            iteration,
+            shrinkable=False,
+            now=now,
+        )
 
 
 def _run_detect_stage(
@@ -291,7 +344,7 @@ def _run_detect_stage(
       truth stayed cycle-free (including the dedicated
       transient-congestion cell).
     """
-    from repro.detect.matrix import detection_matrix, false_positive_cells
+    from repro.detect.matrix import detection_matrix
 
     config = report.config
     try:
@@ -305,6 +358,22 @@ def _run_detect_stage(
             scenario.scenario_id, "harness-error", str(exc), now=now
         )
         return 1
+    return _apply_matrix_outcome(report, scenario, outcome, now=now)
+
+
+def _apply_matrix_outcome(
+    report: FuzzReport,
+    scenario: Scenario,
+    outcome: "MatrixOutcome",
+    now: float = 0.0,
+) -> int:
+    """Fold one detection-matrix outcome into the report; budget used.
+
+    Shared verbatim by the serial loop and the parallel fold so the two
+    paths cannot drift.
+    """
+    from repro.detect.matrix import false_positive_cells
+
     if not outcome.ran:
         report.detect_skips += 1
         return 0
@@ -356,6 +425,243 @@ def _run_detect_stage(
                 now=now,
             )
     return 1
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep path (config.workers > 1)
+# ---------------------------------------------------------------------------
+
+
+def _scenario_eligible(scenario: Scenario) -> bool:
+    """Would the dynamic stages actually run this scenario?
+
+    Transcribes the shared skip conditions of :func:`run_oracle` and
+    ``detection_matrix`` — a purely static predicate (no simulation):
+    the ELP must contain a CBD-forming path pair, and at least one such
+    pair must have hosts at both endpoints. Static predictability is
+    what lets the parallel planner replicate the serial loop's budget
+    arithmetic without running any simulator first.
+    """
+    topo = scenario.build_topology()
+    elp = scenario.build_elp(topo)
+    for pair in find_cbd_pairs(topo, list(elp.paths)):
+        if all(_host_endpoints(topo, path) is not None for path in pair):
+            return True
+    return False
+
+
+def _static_worker(
+    task: Tuple[Scenario, Optional[str], bool]
+) -> Dict[str, Any]:
+    """Phase-A sweep worker: cross-check plus dynamic-stage eligibility.
+
+    Module-level (fork-pool discipline); returns a compact picklable
+    dict. ``ReproError`` is caught here so the fold can replay the
+    serial loop's harness-error text byte for byte.
+    """
+    scenario, fault, need_eligibility = task
+    try:
+        result = cross_check(scenario, fault=fault)
+    except ReproError as exc:
+        return {"error": str(exc)}
+    out: Dict[str, Any] = {
+        "error": None,
+        "ok": result.ok,
+        "invariants": result.invariants_violated(),
+        "details": [str(v) for v in result.violations],
+        "eligible": False,
+    }
+    if need_eligibility and result.ok:
+        out["eligible"] = _scenario_eligible(scenario)
+    return out
+
+
+def _dynamic_worker(task: Tuple[str, Scenario, FuzzConfig]) -> Any:
+    """Phase-B sweep worker: one oracle or detection-matrix replay.
+
+    Mirrors the serial loop's exception asymmetry: ``run_oracle``
+    exceptions propagate (structured worker-error), while the matrix's
+    ``ReproError`` is caught and consumed as a harness error.
+    """
+    kind, scenario, config = task
+    if kind == "oracle":
+        return run_oracle(scenario, duration=config.oracle_duration)
+    from repro.detect.matrix import detection_matrix
+
+    try:
+        return detection_matrix(
+            scenario, duration=config.detect_duration, seed=config.seed
+        )
+    except ReproError as exc:
+        return {"harness_error": str(exc)}
+
+
+def _run_fuzz_parallel(
+    config: FuzzConfig, telemetry: Optional[Telemetry]
+) -> FuzzReport:
+    """Chunked parallel sweep with a serial fold.
+
+    Each chunk runs three steps:
+
+    1. **Phase A** — fan the static cross-check (plus the eligibility
+       predicate) over the worker pool;
+    2. **assignment** — replay the serial loop's budget arithmetic over
+       the phase-A results, in scenario order, without touching the
+       report, to decide which scenarios the oracle / detection stages
+       would have run;
+    3. **Phase B + fold** — fan the planned simulator replays out, then
+       apply *every* report mutation in one serial pass in scenario
+       order.
+
+    Because the fold owns all mutations and runs in scenario order, the
+    report matches the ``workers=1`` run field for field (modulo
+    ``elapsed_seconds``); ``tests/fuzz/test_parallel.py`` pins this.
+    The wall-clock time budget is enforced at chunk boundaries.
+    """
+    from repro.simulator.sweep import run_sweep
+
+    started = time.monotonic()
+    report = FuzzReport(config=config, telemetry=telemetry)
+    generator = ScenarioGenerator(config.seed)
+    oracle_left = config.oracle_budget
+    detect_left = config.detect_budget
+    chunk_size = max(1, config.workers) * 4
+    produced = 0
+
+    while produced < config.iterations:
+        if (
+            config.time_budget is not None
+            and time.monotonic() - started > config.time_budget
+        ):
+            break
+        count = min(chunk_size, config.iterations - produced)
+        scenarios = [next(generator) for _ in range(count)]
+        need_eligibility = oracle_left > 0 or detect_left > 0
+        static_results = run_sweep(
+            _static_worker,
+            [(s, config.inject_fault, need_eligibility) for s in scenarios],
+            workers=config.workers,
+            seed=config.seed + produced,
+        )
+
+        # Assignment pass: pure budget arithmetic, no report mutation.
+        oracle_plan = [False] * count
+        detect_plan = [False] * count
+        o_left, d_left = oracle_left, detect_left
+        for i, static in enumerate(static_results):
+            if not static.ok:
+                continue  # worker crash/error: no dynamic stage
+            info = static.value
+            if info["error"] is not None or not info["ok"]:
+                continue
+            if o_left > 0 and info["eligible"]:
+                o_left -= 1
+                oracle_plan[i] = True
+            if d_left > 0 and info["eligible"]:
+                d_left -= 1
+                detect_plan[i] = True
+
+        dynamic_tasks: List[Tuple[str, Scenario, FuzzConfig]] = []
+        slot: Dict[Tuple[str, int], int] = {}
+        for i, scenario in enumerate(scenarios):
+            if oracle_plan[i]:
+                slot[("oracle", i)] = len(dynamic_tasks)
+                dynamic_tasks.append(("oracle", scenario, config))
+            if detect_plan[i]:
+                slot[("detect", i)] = len(dynamic_tasks)
+                dynamic_tasks.append(("detect", scenario, config))
+        dynamic_results = (
+            run_sweep(
+                _dynamic_worker,
+                dynamic_tasks,
+                workers=config.workers,
+                seed=config.seed + produced,
+            )
+            if dynamic_tasks
+            else []
+        )
+
+        # Fold: one serial pass in scenario order owns every mutation.
+        for i, scenario in enumerate(scenarios):
+            iteration = produced + i
+            elapsed = time.monotonic() - started
+            _note_scenario(report, scenario, elapsed)
+            static = static_results[i]
+            if not static.ok:
+                report.note_violation(
+                    scenario.scenario_id,
+                    "harness-error",
+                    f"{static.error_kind}: {static.error}",
+                    now=elapsed,
+                )
+                continue
+            info = static.value
+            if info["error"] is not None:
+                report.note_violation(
+                    scenario.scenario_id,
+                    "harness-error",
+                    info["error"],
+                    now=elapsed,
+                )
+                continue
+            report.invariant_checks += _CHECKS_PER_SCENARIO
+            if not info["ok"]:
+                _record_failure(
+                    report,
+                    scenario,
+                    info["invariants"],
+                    info["details"],
+                    iteration,
+                    now=elapsed,
+                )
+                continue
+
+            if oracle_left > 0:
+                if not oracle_plan[i]:
+                    report.oracle_skips += 1
+                else:
+                    oracle_left -= 1
+                    res = dynamic_results[slot[("oracle", i)]]
+                    if not res.ok:
+                        report.note_violation(
+                            scenario.scenario_id,
+                            "harness-error",
+                            f"oracle {res.error_kind}: {res.error}",
+                            now=elapsed,
+                        )
+                    else:
+                        _apply_oracle_outcome(
+                            report, scenario, res.value, iteration,
+                            now=elapsed,
+                        )
+
+            if detect_left > 0:
+                if not detect_plan[i]:
+                    report.detect_skips += 1
+                else:
+                    detect_left -= 1
+                    res = dynamic_results[slot[("detect", i)]]
+                    if not res.ok:
+                        report.note_violation(
+                            scenario.scenario_id,
+                            "harness-error",
+                            f"detect {res.error_kind}: {res.error}",
+                            now=elapsed,
+                        )
+                    elif isinstance(res.value, dict):
+                        report.note_violation(
+                            scenario.scenario_id,
+                            "harness-error",
+                            res.value["harness_error"],
+                            now=elapsed,
+                        )
+                    else:
+                        _apply_matrix_outcome(
+                            report, scenario, res.value, now=elapsed
+                        )
+        produced += count
+
+    return _finalize_report(report, telemetry, started)
 
 
 def _record_failure(

@@ -117,16 +117,23 @@ class ForwardingTable:
     """
 
     entries: Dict[str, Dict[str, List[str]]] = field(default_factory=dict)
+    #: Bumped by every mutation. Route caches (the fast simulator switch)
+    #: key their validity on this, so mid-run table edits — convergence
+    #: replays, reroutes, injected loops — invalidate instantly. All
+    #: writes go through the three mutators below.
+    version: int = 0
 
     def set_next_hops(self, switch: str, dst: str, next_hops: Sequence[str]) -> None:
         if not next_hops:
             raise RoutingError(f"empty next-hop set for {dst!r} at {switch!r}")
         self.entries.setdefault(switch, {})[dst] = list(next_hops)
+        self.version += 1
 
     def add_next_hop(self, switch: str, dst: str, next_hop: str) -> None:
         bucket = self.entries.setdefault(switch, {}).setdefault(dst, [])
         if next_hop not in bucket:
             bucket.append(next_hop)
+            self.version += 1
 
     def next_hops(self, switch: str, dst: str) -> List[str]:
         try:
@@ -149,7 +156,8 @@ class ForwardingTable:
         return candidates[_ecmp_mix(switch, flow_hash) % len(candidates)]
 
     def remove_route(self, switch: str, dst: str) -> None:
-        self.entries.get(switch, {}).pop(dst, None)
+        if self.entries.get(switch, {}).pop(dst, None) is not None:
+            self.version += 1
 
     def trace(
         self, src: str, dst: str, flow_hash: int = 0, max_hops: int = 64

@@ -14,12 +14,24 @@ e.g. the Fig. 8a priority-transition bug.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.pipeline import LOSSY_QUEUE
 from repro.simulator.packet import SimConfig
 
+try:  # numpy is a declared dependency; degrade gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    _np = None  # type: ignore[assignment]
+
 AccountKey = Tuple[int, int]  # (ingress port, priority queue)
+
+# Int result codes for the allocation-free fast path (VectorAccounting).
+CHARGE_ACCEPT = 0
+CHARGE_ACCEPT_PAUSE = 1
+CHARGE_REJECT = 2
+RELEASE_KEEP = 0
+RELEASE_RESUME = 1
 
 
 @dataclass
@@ -137,3 +149,165 @@ class IngressAccounting:
             for key, sent in self.pause_sent.items()
             if sent
         }
+
+
+class VectorAccounting(IngressAccounting):
+    """Flat-indexed drop-in for :class:`IngressAccounting` (fast path).
+
+    Account ``(port, queue)`` lives at index ``port * stride + queue`` in
+    flat parallel arrays — no tuple hashing and no dict growth on the
+    per-packet path, and the storage doubles as the numpy view the bulk
+    queries read (``occupancy_matrix``, ``accounts_over``). Semantics are
+    transcribed from the reference, including the dynamic-threshold
+    evaluation order (cap computed *before* the charge lands,
+    XOFF re-evaluated *after* ``lossless_total`` moves), so both classes
+    produce byte-identical decisions — the engine equivalence suite runs
+    one fabric on each and diffs the traces.
+
+    The fast switch calls the int-code entry points (:meth:`charge_code`
+    / :meth:`release_code`); ``charge``/``release`` wrap them for the
+    callers that want a :class:`CrossingResult` (link failure, watchdog,
+    recovery).
+    """
+
+    def __init__(self, config: SimConfig, stride: int = 16) -> None:
+        super().__init__(config)
+        # Queue indexes are PFC priorities (0..8 in practice); a
+        # power-of-two stride keeps the flat index a shift+add.
+        self._stride = stride
+        self._occ: List[int] = [0] * (stride * 8)
+        self._paused: List[bool] = [False] * (stride * 8)
+        # Static-mode thresholds never move; skip the property calls.
+        self._static = not config.dynamic_thresholds
+        self._xoff = config.xoff_bytes
+        self._xon = config.xon_bytes
+        self._cap_bytes = config.xoff_bytes + config.headroom_bytes
+        self._lossy_cap = config.lossy_cap_bytes
+        # Dynamic-mode scalars, cached so the fast switch can evaluate
+        # the alpha threshold inline (pure arithmetic, no frames).
+        self._headroom = config.headroom_bytes
+        self._shared = config.shared_buffer_bytes
+        self._alpha = config.dt_alpha
+        self._floor = config.dt_floor_bytes
+        self._xon_off = config.dt_xon_offset_bytes
+
+    def _grow(self, idx: int) -> None:
+        need = idx + 1 - len(self._occ)
+        self._occ.extend([0] * need)
+        self._paused.extend([False] * need)
+
+    # ------------------------------------------------------------------
+    # Fast path (int codes, no allocation)
+    # ------------------------------------------------------------------
+    def charge_code(self, port: int, queue: int, size: int) -> int:
+        idx = port * self._stride + queue
+        occ_list = self._occ
+        if idx >= len(occ_list):
+            self._grow(idx)
+        occ = occ_list[idx]
+        if queue == LOSSY_QUEUE:
+            if occ + size > self._lossy_cap:
+                return CHARGE_REJECT
+            occ_list[idx] = occ + size
+            return CHARGE_ACCEPT
+        if self._static:
+            if occ + size > self._cap_bytes:
+                return CHARGE_REJECT
+            occ_list[idx] = occ + size
+            self.lossless_total += size
+            if occ + size >= self._xoff and not self._paused[idx]:
+                self._paused[idx] = True
+                return CHARGE_ACCEPT_PAUSE
+            return CHARGE_ACCEPT
+        # Dynamic thresholds: same call order as the reference — the cap
+        # uses the pre-charge pool level, the XOFF test the post-charge
+        # level (the charge itself shrinks every account's threshold).
+        if occ + size > self.current_xoff() + self.config.headroom_bytes:
+            return CHARGE_REJECT
+        occ_list[idx] = occ + size
+        self.lossless_total += size
+        if occ + size >= self.current_xoff() and not self._paused[idx]:
+            self._paused[idx] = True
+            return CHARGE_ACCEPT_PAUSE
+        return CHARGE_ACCEPT
+
+    def release_code(self, port: int, queue: int, size: int) -> int:
+        idx = port * self._stride + queue
+        occ_list = self._occ
+        if idx >= len(occ_list):
+            self._grow(idx)
+        occ = occ_list[idx]
+        if size > occ:
+            raise AssertionError(
+                f"ingress accounting underflow on {(port, queue)}: {occ} - {size}"
+            )
+        occ_list[idx] = occ - size
+        if queue == LOSSY_QUEUE:
+            return RELEASE_KEEP
+        self.lossless_total -= size
+        if self._paused[idx]:
+            xon = self._xon if self._static else self.current_xon()
+            if occ - size <= xon:
+                self._paused[idx] = False
+                return RELEASE_RESUME
+        return RELEASE_KEEP
+
+    # ------------------------------------------------------------------
+    # Reference-compatible API
+    # ------------------------------------------------------------------
+    def charge(self, port: int, queue: int, size: int) -> CrossingResult:
+        code = self.charge_code(port, queue, size)
+        return CrossingResult(
+            accepted=code != CHARGE_REJECT,
+            send_pause=code == CHARGE_ACCEPT_PAUSE,
+        )
+
+    def release(self, port: int, queue: int, size: int) -> CrossingResult:
+        code = self.release_code(port, queue, size)
+        return CrossingResult(send_resume=code == RELEASE_RESUME)
+
+    def occupancy_of(self, port: int, queue: int) -> int:
+        idx = port * self._stride + queue
+        if idx >= len(self._occ):
+            return 0
+        return self._occ[idx]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._occ)
+
+    def paused_accounts(self) -> Dict[AccountKey, int]:
+        stride = self._stride
+        return {
+            (idx // stride, idx % stride): self._occ[idx]
+            for idx, sent in enumerate(self._paused)
+            if sent
+        }
+
+    # ------------------------------------------------------------------
+    # Vectorized bulk views (telemetry / analysis across all accounts)
+    # ------------------------------------------------------------------
+    def occupancy_matrix(self) -> "_np.ndarray":
+        """All accounts as a ``(ports, stride)`` int64 array."""
+        if _np is None:  # pragma: no cover - broken-install fallback
+            raise RuntimeError("numpy unavailable: occupancy_matrix disabled")
+        return _np.asarray(self._occ, dtype=_np.int64).reshape(
+            -1, self._stride
+        )
+
+    def accounts_over(self, threshold: int) -> List[AccountKey]:
+        """Accounts at or above ``threshold`` bytes, ascending key order.
+
+        One vectorized comparison across every account — what the
+        observability samplers use instead of a per-account scan.
+        """
+        stride = self._stride
+        if _np is None:  # pragma: no cover - broken-install fallback
+            return [
+                (idx // stride, idx % stride)
+                for idx, occ in enumerate(self._occ)
+                if occ >= threshold
+            ]
+        flat = _np.asarray(self._occ, dtype=_np.int64)
+        hits = _np.nonzero(flat >= threshold)[0]
+        return [(int(i) // stride, int(i) % stride) for i in hits]

@@ -114,6 +114,7 @@ class DcqcnFlow:
                 size=self.packet_size,
                 tag=self.data_tag,
                 ttl=net.config.default_ttl,
+                packet_id=net.new_packet_id(),
                 created_at=net.sim.now,
                 kind="data",
             )
@@ -167,6 +168,7 @@ class DcqcnFlow:
             size=CNP_PACKET_SIZE,
             tag=self.cnp_tag,
             ttl=net.config.default_ttl,
+            packet_id=net.new_packet_id(),
             created_at=net.sim.now,
             kind="cnp",
         )

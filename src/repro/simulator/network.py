@@ -24,13 +24,13 @@ from repro.core.planner import TaggerPlan
 from repro.core.rules import RuleTable
 from repro.exceptions import SimulationError
 from repro.routing.base import ForwardingTable
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import Simulator, make_simulator
 from repro.simulator.flow import Flow
-from repro.simulator.host import SimHost
+from repro.simulator.host import FastSimHost, SimHost
 from repro.simulator.metrics import MetricsRecorder
 from repro.simulator.packet import SimConfig
-from repro.simulator.switch import SimSwitch
-from repro.simulator.txport import TxPort
+from repro.simulator.switch import FastSimSwitch, SimSwitch
+from repro.simulator.txport import FastTxPort, TxPort
 from repro.topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -64,12 +64,20 @@ class SimNetwork:
         host_queue_map: Optional[QueueMap] = None,
         metrics_bucket: float = 0.001,
         telemetry: Optional["Telemetry"] = None,
+        engine: str = "wheel",
     ) -> None:
         self.topo = topo
         self.table = table
         self.config = config
-        self.sim = Simulator()
+        #: ``engine="wheel"`` (default) runs the event-wheel scheduler
+        #: with the fast switch/port/accounting classes; ``"heap"`` runs
+        #: the frozen reference stack. Both produce byte-identical
+        #: traces, PFC logs and metrics (tests/simulator/
+        #: test_engine_equivalence.py) — "heap" exists as the yardstick.
+        self.engine = engine
+        self.sim: Simulator = make_simulator(engine)
         self.rng = random.Random(config.seed)
+        self._next_packet_id = 0
         self.metrics = MetricsRecorder(bucket_width=metrics_bucket)
         self.telemetry = telemetry
         if telemetry is not None:
@@ -79,7 +87,10 @@ class SimNetwork:
         default_pipeline = passthrough_pipeline()
         self._pipelines = pipelines or {}
         self.host_queue_map = host_queue_map or default_pipeline.queue_map
-        self._pinned: Dict[int, Dict[str, str]] = {}
+        self._pinned: Dict[int, Tuple[Optional[str], Dict[str, str]]] = {}
+        #: Bumped on every (re)pin; the fast switches key their cached
+        #: forwarding decisions on it (see FastSimSwitch).
+        self._pinned_version = 0
         self.tracer = None  # optional PacketTracer (see simulator.trace)
         self.transports: Dict[int, object] = {}  # flow_id -> ReliableMessage
         #: Control-path taps called for every PFC frame sent (the runtime
@@ -90,13 +101,18 @@ class SimNetwork:
         #: owning switch until recovery re-arms the queue.
         self.quarantined: Set[Tuple[str, int, int]] = set()
 
+        # The wheel engine rides with the fast switch/port classes; the
+        # heap reference keeps the frozen naive stack.
+        switch_cls = SimSwitch if engine == "heap" else FastSimSwitch
+        host_cls = SimHost if engine == "heap" else FastSimHost
+        self._port_cls = TxPort if engine == "heap" else FastTxPort
         self.switches: Dict[str, SimSwitch] = {}
         self.hosts: Dict[str, SimHost] = {}
         for name in topo.switches:
             pipeline = self._pipelines.get(name, default_pipeline)
-            self.switches[name] = SimSwitch(self, name, pipeline)
+            self.switches[name] = switch_cls(self, name, pipeline)
         for name in topo.hosts:
-            self.hosts[name] = SimHost(self, name)
+            self.hosts[name] = host_cls(self, name)
         self._wire_ports()
 
     # ------------------------------------------------------------------
@@ -111,6 +127,7 @@ class SimNetwork:
         decouple_egress: bool = True,
         metrics_bucket: float = 0.001,
         telemetry: Optional["Telemetry"] = None,
+        engine: str = "wheel",
     ) -> "SimNetwork":
         """Build a fabric running a :class:`TaggerPlan` on every switch."""
         pipelines = {
@@ -125,6 +142,7 @@ class SimNetwork:
             host_queue_map=plan.queue_map,
             metrics_bucket=metrics_bucket,
             telemetry=telemetry,
+            engine=engine,
         )
 
     def _wire_ports(self) -> None:
@@ -137,16 +155,15 @@ class SimNetwork:
     ) -> None:
         dst_node = self.topo.node(dst)
         if dst_node.is_switch:
-            receiver = self.switches[dst]
-            deliver = lambda pkt, r=receiver, p=dst_port: r.receive(pkt, p)  # noqa: E731
+            receive = self.switches[dst].receive
         else:
-            receiver_host = self.hosts[dst]
-            deliver = lambda pkt, r=receiver_host, p=dst_port: r.receive(pkt, p)  # noqa: E731
+            receive = self.hosts[dst].receive
+        deliver = lambda pkt, r=receive, p=dst_port: r(pkt, p)  # noqa: E731
 
         src_node = self.topo.node(src)
         if src_node.is_switch:
             switch = self.switches[src]
-            port = TxPort(
+            port = self._port_cls(
                 self.sim,
                 self.config,
                 owner=src,
@@ -158,7 +175,7 @@ class SimNetwork:
             switch.tx_ports[src_port] = port
         else:
             host = self.hosts[src]
-            host.nic = TxPort(
+            port = self._port_cls(
                 self.sim,
                 self.config,
                 owner=src,
@@ -167,6 +184,18 @@ class SimNetwork:
                 deliver=deliver,
                 on_sent=host.on_sent,
             )
+            host.nic = port
+        if isinstance(port, FastTxPort):
+            port.bind_receiver(receive, dst_port)
+            if src_node.is_switch and isinstance(switch, FastSimSwitch):
+                # Fuse the per-transmit ingress release into the port.
+                port.bind_sender(switch._acct, self.send_pfc)
+
+    def new_packet_id(self) -> int:
+        """Next packet id for this fabric (per-network, not per-process)."""
+        pid = self._next_packet_id
+        self._next_packet_id = pid + 1
+        return pid
 
     # ------------------------------------------------------------------
     # Experiment API
@@ -195,6 +224,7 @@ class SimNetwork:
         onto the forward path.
         """
         self._pinned[flow_id] = (dst, dict(next_hops))
+        self._pinned_version += 1
 
     def pinned_next_hop(
         self, flow_id: int, switch: str, dst: Optional[str] = None

@@ -3,15 +3,19 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.tags import INITIAL_TAG
 
+# Fallback id source for packets built without an explicit ``packet_id``
+# (direct construction in unit tests). Simulation components always pass
+# ``packet_id=net.new_packet_id()`` so ids are per-fabric: two networks
+# in one process number their packets identically, which the engine
+# trace-equivalence suite depends on when comparing traces side by side.
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One simulated packet.
 
@@ -20,25 +24,53 @@ class Packet:
     ``in_port``/``in_queue`` fields record where the packet is charged at
     its *current* switch (for PFC accounting release and for the runtime
     wait-for graph); they are rewritten at each hop.
+
+    A ``__slots__`` class rather than a dataclass: millions of packets
+    are allocated per run, and slots cut both the per-instance footprint
+    (no ``__dict__``) and the attribute-access cost on every hop.
     """
 
-    flow_id: int
-    src: str
-    dst: str
-    size: int
-    tag: int = INITIAL_TAG
-    ttl: int = 64
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    created_at: float = 0.0
-    # Transport-layer fields (used by repro.simulator.transport).
-    kind: str = "data"  # "data" | "ack" | "nack" | "cnp"
-    psn: int = -1       # packet sequence number; -1 = unsequenced
-    ecn: bool = False   # congestion-experienced mark (set by switches)
-    # Per-hop bookkeeping (owned by the switch currently holding the packet).
-    in_port: Optional[int] = None
-    in_queue: Optional[int] = None
-    egress_queue: Optional[int] = None
-    hops: int = 0
+    __slots__ = (
+        "flow_id", "src", "dst", "size", "tag", "ttl", "packet_id",
+        "created_at", "kind", "psn", "ecn", "in_port", "in_queue",
+        "egress_queue", "hops",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size: int,
+        tag: int = INITIAL_TAG,
+        ttl: int = 64,
+        packet_id: Optional[int] = None,
+        created_at: float = 0.0,
+        # Transport-layer fields (used by repro.simulator.transport).
+        kind: str = "data",  # "data" | "ack" | "nack" | "cnp"
+        psn: int = -1,       # packet sequence number; -1 = unsequenced
+        ecn: bool = False,   # congestion-experienced mark (set by switches)
+        # Per-hop bookkeeping (owned by the current switch).
+        in_port: Optional[int] = None,
+        in_queue: Optional[int] = None,
+        egress_queue: Optional[int] = None,
+        hops: int = 0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.tag = tag
+        self.ttl = ttl
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.created_at = created_at
+        self.kind = kind
+        self.psn = psn
+        self.ecn = ecn
+        self.in_port = in_port
+        self.in_queue = in_queue
+        self.egress_queue = egress_queue
+        self.hops = hops
 
     def __repr__(self) -> str:
         return (

@@ -64,6 +64,11 @@ class PfcLog:
     events: List[PfcEvent] = field(default_factory=list)
     telemetry: Optional["Telemetry"] = field(default=None, repr=False)
     _frames: Optional["MetricCounter"] = field(default=None, repr=False)
+    # Incremental tallies: pause_count/resume_count are polled per tick
+    # by the watchdog and the runtime detector, which made the O(events)
+    # scans a measurable cost on long pause storms.
+    _pauses: int = field(default=0, repr=False)
+    _resumes: int = field(default=0, repr=False)
 
     def attach_telemetry(
         self,
@@ -84,6 +89,10 @@ class PfcLog:
         self, time: float, sender: str, receiver: str, queue: int, pause: bool
     ) -> None:
         self.events.append(PfcEvent(time, sender, receiver, queue, pause))
+        if pause:
+            self._pauses += 1
+        else:
+            self._resumes += 1
         if self.telemetry is not None:
             self.telemetry.emit(
                 EV_SIM_PAUSE if pause else EV_SIM_RESUME,
@@ -97,11 +106,11 @@ class PfcLog:
 
     @property
     def pause_count(self) -> int:
-        return sum(1 for event in self.events if event.pause)
+        return self._pauses
 
     @property
     def resume_count(self) -> int:
-        return sum(1 for event in self.events if not event.pause)
+        return self._resumes
 
     def pauses_by_link(self) -> Dict[Tuple[str, str], int]:
         out: Dict[Tuple[str, str], int] = {}

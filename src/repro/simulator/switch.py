@@ -16,12 +16,21 @@ Packet life inside a switch:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from bisect import insort
+from collections import deque
+from heapq import heappush
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.pipeline import LOSSY_QUEUE, PipelineConfig
 from repro.core.tags import LOSSY_TAG
 from repro.exceptions import RoutingError
-from repro.simulator.buffers import IngressAccounting
+from repro.simulator.buffers import (
+    CHARGE_ACCEPT,
+    CHARGE_ACCEPT_PAUSE,
+    CHARGE_REJECT,
+    IngressAccounting,
+    VectorAccounting,
+)
 from repro.simulator.metrics import (
     DROP_LOSSLESS,
     DROP_LOSSY,
@@ -29,7 +38,7 @@ from repro.simulator.metrics import (
     DROP_TTL,
 )
 from repro.simulator.packet import Packet
-from repro.simulator.txport import TxPort
+from repro.simulator.txport import FastTxPort, TxPort
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulator.network import SimNetwork
@@ -37,6 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class SimSwitch:
     """One switch instance inside a :class:`SimNetwork`."""
+
+    # Slotted (base and fast subclass): the switch object is touched on
+    # every hop of every packet; slots keep the lookups off the dict.
+    __slots__ = ("net", "name", "pipeline", "accounting", "tx_ports")
 
     def __init__(
         self,
@@ -173,3 +186,330 @@ class SimSwitch:
 
     def __repr__(self) -> str:
         return f"SimSwitch({self.name}, buffered={self.accounting.total_bytes}B)"
+
+
+#: Cache-miss sentinel (``None`` is a legal cached answer: "no route").
+_MISS = object()
+
+
+#: Cached decision: next hop, egress port, ingress queue, rewritten tag,
+#: egress queue. ``None`` caches "no route".
+Decision = Optional[Tuple[str, int, int, int, int, int, Optional["FastTxPort"]]]
+
+
+class FastSimSwitch(SimSwitch):
+    """Hot-path :class:`SimSwitch` used by the overhauled engine.
+
+    The data path is a faithful transcription of the reference
+    ``receive``/``on_sent`` with the per-packet overheads removed:
+
+    - one *decision cache*: ``(dst, flow_id, tag, in_port)`` maps to the
+      precomputed ``(next_hop, out_port, in_queue, new_tag,
+      egress_queue)`` tuple (``None`` caches "no route"), collapsing the
+      route lookup, egress-port resolution, both queue classifications
+      and the tag rewrite into a single dict probe. The cache is keyed
+      on the forwarding table's ``version``, the network's
+      ``_pinned_version`` and the live pipeline object, so mid-run table
+      edits (convergence replays, injected loops), flow re-pins and
+      pipeline swaps (recovery rollouts, rule rollout epochs — the only
+      sanctioned ways to change rules mid-run) all behave exactly as
+      uncached lookups;
+    - flat-indexed :class:`VectorAccounting` with the charge/release
+      arithmetic for both threshold modes inlined into the packet path
+      (no :class:`CrossingResult`, no call frame) — the dynamic alpha
+      formula evaluates against the accounting's cached scalars in the
+      reference order (cap pre-charge, XOFF post-charge);
+    - quarantine demotion stays a per-packet check — recovery mutates
+      ``net.quarantined`` mid-run.
+
+    Every metrics, tracer and PFC side effect fires in the reference
+    order — the equivalence suite diffs full traces to hold this class
+    to byte-identity.
+    """
+
+    __slots__ = (
+        "_acct", "_decisions", "_table_version", "_pinned_seen",
+        "_cls_pipeline", "_occ_list", "_paused_list", "_stride", "_static",
+        "_cap_bytes", "_xoff", "_lossy_cap", "_alpha", "_shared", "_floor",
+        "_headroom",
+    )
+
+    def __init__(
+        self,
+        net: "SimNetwork",
+        name: str,
+        pipeline: PipelineConfig,
+    ) -> None:
+        super().__init__(net, name, pipeline)
+        self._acct = VectorAccounting(net.config)
+        self.accounting = self._acct
+        # Accounting arrays and threshold scalars, re-cached on the
+        # switch itself: ``_grow`` extends the lists in place (identity
+        # is stable) and the config is frozen, so these never go stale.
+        acct = self._acct
+        self._occ_list = acct._occ
+        self._paused_list = acct._paused
+        self._stride = acct._stride
+        self._static = acct._static
+        self._cap_bytes = acct._cap_bytes
+        self._xoff = acct._xoff
+        self._lossy_cap = acct._lossy_cap
+        self._alpha = acct._alpha
+        self._shared = acct._shared
+        self._floor = acct._floor
+        self._headroom = acct._headroom
+        self._decisions: Dict[Tuple[str, int, int, int], Decision] = {}
+        self._table_version = -1
+        self._pinned_seen = -1
+        self._cls_pipeline: Optional[PipelineConfig] = None
+
+    def _decide(
+        self, dst: str, flow_id: int, tag: int, in_port: int
+    ) -> Decision:
+        """Replay the reference forwarding computation (pure part only)."""
+        net = self.net
+        next_hop: Optional[str] = None
+        if net._pinned:
+            next_hop = net.pinned_next_hop(flow_id, self.name, dst=dst)
+        if next_hop is None:
+            try:
+                next_hop = net.table.next_hop(
+                    self.name, dst, flow_hash=flow_id
+                )
+            except RoutingError:
+                return None
+        out_port = net.topo.port_to(self.name, next_hop)
+        pipeline = self.pipeline
+        in_queue = pipeline.classify_ingress(tag)
+        if net.topo.node(next_hop).is_host:
+            # Delivery hop: keep the tag onto the host link (plans built
+            # from switch-level ELP paths have no host-egress rules; the
+            # safeguard default must not demote deliveries).
+            new_tag = tag
+        else:
+            new_tag = pipeline.rewrite(tag, in_port, out_port)
+        egress_queue = pipeline.classify_egress(tag, new_tag)
+        # Flat accounting index and egress port object, resolved once
+        # per cached decision: the accounting arrays only ever grow in
+        # place and ports never change after wiring, so both stay valid
+        # for the cache's lifetime (the cache clears on table/pipeline
+        # swaps anyway).
+        idx = in_port * self._stride + in_queue
+        if idx >= len(self._occ_list):
+            self._acct._grow(idx)
+        port = self.tx_ports[out_port]
+        fport = port if type(port) is FastTxPort else None
+        return (next_hop, out_port, in_queue, new_tag, egress_queue, idx, fport)
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        net = self.net
+        metrics = net.metrics
+        tracer = net.tracer
+        if tracer is not None:
+            self._trace(packet, "receive", f"in_port={in_port}")
+        packet.ttl -= 1
+        packet.hops += 1
+        if packet.ttl <= 0:
+            metrics.record_drop(DROP_TTL, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", DROP_TTL)
+            return
+
+        decisions = self._decisions
+        if (
+            net.table.version != self._table_version
+            or net._pinned_version != self._pinned_seen
+        ):
+            decisions.clear()
+            self._table_version = net.table.version
+            self._pinned_seen = net._pinned_version
+        pipeline = self.pipeline
+        if pipeline is not self._cls_pipeline:
+            # Pipeline swapped mid-run (recovery rollout): reset cache.
+            self._cls_pipeline = pipeline
+            decisions.clear()
+        tag = packet.tag
+        key = (packet.dst, packet.flow_id, tag, in_port)
+        hit = decisions.get(key, _MISS)
+        if hit is _MISS:
+            hit = self._decide(packet.dst, packet.flow_id, tag, in_port)
+            decisions[key] = hit
+        if hit is None:
+            metrics.record_drop(DROP_NO_ROUTE, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", DROP_NO_ROUTE)
+            return
+        next_hop, out_port, in_queue, new_tag, egress_queue, idx, fport = hit
+
+        # Ingress charge, inlined from VectorAccounting.charge_code.
+        # Static thresholds read the cached scalars; dynamic thresholds
+        # evaluate the alpha formula inline with the reference's exact
+        # order (cap from the pre-charge pool, XOFF re-evaluated after
+        # ``lossless_total`` moves). ``idx`` was resolved (and the
+        # arrays grown past it) when the decision was cached.
+        acct = self._acct
+        size = packet.size
+        occ_list = self._occ_list
+        occ = occ_list[idx] + size
+        if in_queue == LOSSY_QUEUE:
+            if occ > self._lossy_cap:
+                code = CHARGE_REJECT
+            else:
+                occ_list[idx] = occ
+                code = CHARGE_ACCEPT
+        else:
+            static = self._static
+            base_xoff = self._xoff
+            if static:
+                cap = self._cap_bytes
+            else:
+                free = self._shared - acct.lossless_total
+                dyn = int(self._alpha * free)
+                xoff = dyn if dyn < base_xoff else base_xoff
+                if xoff < self._floor:
+                    xoff = self._floor
+                cap = xoff + self._headroom
+            if occ > cap:
+                code = CHARGE_REJECT
+            else:
+                occ_list[idx] = occ
+                acct.lossless_total += size
+                if static:
+                    xoff = base_xoff
+                else:
+                    free = self._shared - acct.lossless_total
+                    dyn = int(self._alpha * free)
+                    xoff = dyn if dyn < base_xoff else base_xoff
+                    if xoff < self._floor:
+                        xoff = self._floor
+                paused = self._paused_list
+                if occ >= xoff and not paused[idx]:
+                    paused[idx] = True
+                    code = CHARGE_ACCEPT_PAUSE
+                else:
+                    code = CHARGE_ACCEPT
+        if code == CHARGE_REJECT:
+            reason = DROP_LOSSY if in_queue == LOSSY_QUEUE else DROP_LOSSLESS
+            metrics.record_drop(reason, packet.flow_id)
+            if tracer is not None:
+                self._trace(packet, "drop", reason)
+            return
+        if code == CHARGE_ACCEPT_PAUSE:
+            net.send_pfc(self.name, in_port, in_queue, pause=True)
+
+        if new_tag != tag:
+            metrics.record_demotion(
+                net.sim.now, self.name, tag, new_tag, packet.flow_id
+            )
+        if (
+            net.quarantined
+            and egress_queue != LOSSY_QUEUE
+            and (self.name, out_port, egress_queue) in net.quarantined
+        ):
+            metrics.record_demotion(
+                net.sim.now, self.name, new_tag, LOSSY_TAG, packet.flow_id
+            )
+            new_tag = LOSSY_TAG
+            egress_queue = LOSSY_QUEUE
+        packet.tag = new_tag
+        packet.in_port = in_port
+        packet.in_queue = in_queue
+        if tracer is not None:
+            self._trace(
+                packet,
+                "forward",
+                f"-> {next_hop} tag {tag}->{new_tag} q{egress_queue}",
+            )
+        port = fport
+        if port is None:
+            self.tx_ports[out_port].enqueue(packet, egress_queue)
+            return
+        # FastTxPort.enqueue, inlined (the per-hop handoff is the
+        # hottest cross-object call in the simulator).
+        packet.egress_queue = egress_queue
+        queues = port.queues
+        fifo = queues.get(egress_queue)
+        if fifo is None:
+            fifo = deque()
+            queues[egress_queue] = fifo
+            port.queued_bytes[egress_queue] = 0
+            port._qids.append(egress_queue)
+            port._qids.sort()
+        queued = port.queued_bytes[egress_queue]
+        threshold = port._ecn_threshold
+        if threshold is not None and queued > threshold:
+            packet.ecn = True
+        fifo.append(packet)
+        port.queued_bytes[egress_queue] = queued + size
+        if port.busy or not port.link_up:
+            return
+        paused = port._pauseset
+        rr_last = port._rr_last
+        pick = -1
+        first = -1
+        for q in port._qids:
+            if not queues[q] or q in paused:
+                continue
+            if q > rr_last:
+                pick = q
+                break
+            if first < 0:
+                first = q
+        if pick < 0:
+            if first < 0:
+                return
+            pick = first
+        head = queues[pick].popleft()
+        port.queued_bytes[pick] -= head.size
+        port._rr_last = pick
+        port.busy = True
+        port._tx_packet = head
+        wsim = port._wsim
+        if wsim is None:
+            port._schedule(head.size * 8.0 / port._bw, port._complete_cb)
+            return
+        # WheelSimulator.schedule, inlined.
+        time = wsim.now + head.size * 8.0 / port._bw
+        seq = wsim._seq
+        wsim._seq = seq + 1
+        event = (time, seq, port._complete_cb)
+        slot = int(time / wsim._res)
+        cur = wsim._cur_slot
+        if slot <= cur:
+            insort(wsim._active, event, wsim._active_pos)
+        elif slot < cur + wsim._nslots:
+            cell = wsim._ring[slot % wsim._nslots]
+            if not cell:
+                heappush(wsim._slot_heap, slot)
+            cell.append(event)
+            wsim._ring_count += 1
+        else:
+            heappush(wsim._overflow, event)
+
+    def on_sent(self, packet: Packet) -> None:
+        in_port = packet.in_port
+        in_queue = packet.in_queue
+        assert in_port is not None and in_queue is not None
+        # Release, inlined from VectorAccounting.release_code.
+        acct = self._acct
+        size = packet.size
+        idx = in_port * acct._stride + in_queue
+        occ_list = acct._occ
+        if idx >= len(occ_list):
+            acct._grow(idx)
+        occ = occ_list[idx]
+        if size > occ:
+            raise AssertionError(
+                f"ingress accounting underflow on {(in_port, in_queue)}: "
+                f"{occ} - {size}"
+            )
+        occ_list[idx] = occ - size
+        if in_queue != LOSSY_QUEUE:
+            acct.lossless_total -= size
+            if acct._paused[idx]:
+                xon = acct._xon if acct._static else acct.current_xon()
+                if occ - size <= xon:
+                    acct._paused[idx] = False
+                    self.net.send_pfc(
+                        self.name, in_port, in_queue, pause=False
+                    )

@@ -137,6 +137,7 @@ class ReliableMessage:
             size=self.packet_size,
             tag=self.initial_tag,
             ttl=net.config.default_ttl,
+            packet_id=net.new_packet_id(),
             created_at=net.sim.now,
             kind="data",
             psn=psn,
@@ -226,6 +227,7 @@ class ReliableMessage:
             size=CONTROL_PACKET_SIZE,
             tag=self.initial_tag,
             ttl=net.config.default_ttl,
+            packet_id=net.new_packet_id(),
             created_at=net.sim.now,
             kind=kind,
             psn=psn,

@@ -9,12 +9,18 @@ the WRR commodity switches use, and free of starvation artifacts.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from heapq import heappush
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
-from repro.simulator.engine import Simulator
+from repro.core.pipeline import LOSSY_QUEUE
+from repro.simulator.engine import Callback, Simulator, WheelSimulator
 from repro.simulator.packet import Packet, SimConfig
 from repro.simulator.pfc import PauseState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.buffers import VectorAccounting
 
 DeliverFn = Callable[[Packet], None]
 SentFn = Callable[[Packet], None]
@@ -22,6 +28,14 @@ SentFn = Callable[[Packet], None]
 
 class TxPort:
     """One egress port: priority FIFOs + PFC pause state + tx loop."""
+
+    # Slotted (base and fast subclass): switch datapaths touch port
+    # attributes on every hop, and slots keep that off the dict path.
+    __slots__ = (
+        "sim", "config", "owner", "port", "peer", "_deliver", "_on_sent",
+        "queues", "queued_bytes", "pause", "pause_started", "busy",
+        "link_up", "_rr_last", "bytes_sent", "packets_sent",
+    )
 
     def __init__(
         self,
@@ -171,3 +185,319 @@ class TxPort:
             f"TxPort({self.owner}:{self.port} -> {self.peer}, "
             f"queued={self.bytes_queued()}B, paused={sorted(self.pause.paused)})"
         )
+
+
+class FastTxPort(TxPort):
+    """Allocation-light :class:`TxPort` for the overhauled engine.
+
+    Behaviour-identical to the reference (the equivalence suite diffs
+    the two), with the per-packet overheads removed:
+
+    - no closure per transmit/delivery — the in-flight packet rides in
+      ``_tx_packet`` and a bound method completes it; delivered packets
+      ride a wire FIFO (propagation delay is constant per port, so the
+      wire drains in schedule order);
+    - no closure per *hop* either — :meth:`bind_receiver` stores the
+      downstream ``receive`` bound method plus its ingress port, so a
+      delivery is one direct call instead of a lambda trampoline;
+    - no ``sorted()`` per round-robin pick — queue ids are kept in a
+      sorted registry maintained on first use, and the pick loop is
+      inlined into :meth:`_try_send`;
+    - the ECN threshold, link rate and ``sim.schedule`` are cached
+      locals instead of attribute chains.
+
+    ``queues``/``queued_bytes``/``pause``/``pause_started`` stay fully
+    authoritative — detection, recovery and the deadlock probes read and
+    mutate them directly on both port classes.
+    """
+
+    __slots__ = (
+        "_bw", "_prop", "_ecn_threshold", "_schedule", "_wsim", "_qids",
+        "_tx_packet", "_wire", "_complete_cb", "_deliver_cb", "_pauseset",
+        "_recv_fn", "_recv_port", "_src_acct", "_src_pfc",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimConfig,
+        owner: str,
+        port: int,
+        peer: str,
+        deliver: DeliverFn,
+        on_sent: Optional[SentFn] = None,
+    ) -> None:
+        super().__init__(sim, config, owner, port, peer, deliver, on_sent)
+        self._bw = config.bandwidth_bps
+        self._prop = config.prop_delay
+        self._ecn_threshold = config.ecn_threshold_bytes
+        self._schedule = sim.schedule
+        # Exact-type check: a WheelSimulator subclass could override
+        # scheduling, so only the stock wheel gets the inline fast path.
+        self._wsim: Optional[WheelSimulator] = (
+            sim if type(sim) is WheelSimulator else None
+        )
+        self._qids: List[int] = []  # sorted registry of known queue ids
+        self._pauseset = self.pause.paused  # PauseState mutates in place
+        self._tx_packet: Optional[Packet] = None
+        self._wire: Deque[Packet] = deque()
+        # Pre-bound event callbacks: binding a method per schedule costs
+        # an allocation on every packet-hop; these two never change.
+        self._complete_cb: Callback = self._complete_tx
+        self._deliver_cb: Callback = self._deliver_next
+        self._recv_fn: Optional[Callable[[Packet, int], None]] = None
+        self._recv_port = 0
+        self._src_acct: Optional["VectorAccounting"] = None
+        self._src_pfc: Optional[Callable[..., None]] = None
+
+    def bind_receiver(
+        self, receive: Callable[[Packet, int], None], port: int
+    ) -> None:
+        """Bind the downstream ``receive(packet, in_port)`` directly."""
+        self._recv_fn = receive
+        self._recv_port = port
+
+    def bind_sender(
+        self, acct: "VectorAccounting", send_pfc: Callable[..., None]
+    ) -> None:
+        """Fuse the owning switch's per-transmit ingress release.
+
+        With the accounting object and the fabric's ``send_pfc`` bound
+        here, :meth:`_complete_tx` performs the release inline instead of
+        bouncing through the switch's ``on_sent`` callback — one less
+        frame per transmitted packet. Only switch-owned ports bind this;
+        host NICs keep the ``on_sent`` closed-loop refill callback.
+        """
+        self._src_acct = acct
+        self._src_pfc = send_pfc
+
+    def enqueue(self, packet: Packet, queue: int) -> None:
+        packet.egress_queue = queue
+        queues = self.queues
+        fifo = queues.get(queue)
+        if fifo is None:
+            fifo = deque()
+            queues[queue] = fifo
+            self.queued_bytes[queue] = 0
+            self._qids.append(queue)
+            self._qids.sort()
+        queued = self.queued_bytes[queue]
+        threshold = self._ecn_threshold
+        if threshold is not None and queued > threshold:
+            packet.ecn = True
+        fifo.append(packet)
+        self.queued_bytes[queue] = queued + packet.size
+        if self.busy or not self.link_up:
+            return
+        # _try_send, inlined (one enqueue per packet-hop).
+        paused = self._pauseset
+        rr_last = self._rr_last
+        pick = -1
+        first = -1
+        for q in self._qids:
+            if not queues[q] or q in paused:
+                continue
+            if q > rr_last:
+                pick = q
+                break
+            if first < 0:
+                first = q
+        if pick < 0:
+            if first < 0:
+                return
+            pick = first
+        head = queues[pick].popleft()
+        self.queued_bytes[pick] -= head.size
+        self._rr_last = pick
+        self.busy = True
+        self._tx_packet = head
+        wsim = self._wsim
+        if wsim is None:
+            self._schedule(head.size * 8.0 / self._bw, self._complete_cb)
+            return
+        # WheelSimulator.schedule, inlined (delay is always positive).
+        time = wsim.now + head.size * 8.0 / self._bw
+        seq = wsim._seq
+        wsim._seq = seq + 1
+        event = (time, seq, self._complete_cb)
+        slot = int(time / wsim._res)
+        cur = wsim._cur_slot
+        if slot <= cur:
+            insort(wsim._active, event, wsim._active_pos)
+        elif slot < cur + wsim._nslots:
+            cell = wsim._ring[slot % wsim._nslots]
+            if not cell:
+                heappush(wsim._slot_heap, slot)
+            cell.append(event)
+            wsim._ring_count += 1
+        else:
+            heappush(wsim._overflow, event)
+
+    def _pick_queue(self) -> Optional[int]:
+        queues = self.queues
+        paused = self._pauseset
+        rr_last = self._rr_last
+        first = -1
+        for q in self._qids:
+            if not queues[q] or q in paused:
+                continue
+            if q > rr_last:
+                return q
+            if first < 0:
+                first = q
+        return first if first >= 0 else None
+
+    def _try_send(self) -> None:
+        if self.busy or not self.link_up:
+            return
+        # Round-robin pick, inlined (this is the per-transmit hot loop).
+        queues = self.queues
+        paused = self._pauseset
+        rr_last = self._rr_last
+        queue = -1
+        first = -1
+        for q in self._qids:
+            if not queues[q] or q in paused:
+                continue
+            if q > rr_last:
+                queue = q
+                break
+            if first < 0:
+                first = q
+        if queue < 0:
+            if first < 0:
+                return
+            queue = first
+        packet = queues[queue].popleft()
+        self.queued_bytes[queue] -= packet.size
+        self._rr_last = queue
+        self.busy = True
+        self._tx_packet = packet
+        self._schedule(packet.size * 8.0 / self._bw, self._complete_cb)
+
+    def _complete_tx(self) -> None:
+        packet = self._tx_packet
+        assert packet is not None
+        self._tx_packet = None
+        self.busy = False
+        size = packet.size
+        self.bytes_sent += size
+        self.packets_sent += 1
+        # Keep the reference schedule order: the sender hook may start
+        # the next transmit (closed-loop refill) *before* the delivery
+        # is booked. Switch ports run the ingress release inline here
+        # (bind_sender); host NICs call back into the host.
+        src_acct = self._src_acct
+        if src_acct is not None:
+            # FastSimSwitch.on_sent, inlined.
+            in_port = packet.in_port
+            in_queue = packet.in_queue
+            assert in_port is not None and in_queue is not None
+            idx = in_port * src_acct._stride + in_queue
+            occ_list = src_acct._occ
+            if idx >= len(occ_list):
+                src_acct._grow(idx)
+            occ = occ_list[idx]
+            if size > occ:
+                raise AssertionError(
+                    f"ingress accounting underflow on {(in_port, in_queue)}: "
+                    f"{occ} - {size}"
+                )
+            occ_list[idx] = occ - size
+            if in_queue != LOSSY_QUEUE:
+                src_acct.lossless_total -= size
+                if src_acct._paused[idx]:
+                    if src_acct._static:
+                        xon = src_acct._xon
+                    else:
+                        # current_xon(), inlined: alpha threshold on the
+                        # post-release pool, clamped, minus the offset.
+                        free = src_acct._shared - src_acct.lossless_total
+                        dyn = int(src_acct._alpha * free)
+                        xoff = dyn if dyn < src_acct._xoff else src_acct._xoff
+                        if xoff < src_acct._floor:
+                            xoff = src_acct._floor
+                        xon = xoff - src_acct._xon_off
+                        if xon < 0:
+                            xon = 0
+                    if occ - size <= xon:
+                        src_acct._paused[idx] = False
+                        assert self._src_pfc is not None
+                        self._src_pfc(
+                            self.owner, in_port, in_queue, pause=False
+                        )
+        elif self._on_sent is not None:
+            self._on_sent(packet)
+        self._wire.append(packet)
+        wsim = self._wsim
+        if wsim is None:
+            self._schedule(self._prop, self._deliver_cb)
+        else:
+            # WheelSimulator.schedule, inlined.
+            time = wsim.now + self._prop
+            seq = wsim._seq
+            wsim._seq = seq + 1
+            event = (time, seq, self._deliver_cb)
+            slot = int(time / wsim._res)
+            cur = wsim._cur_slot
+            if slot <= cur:
+                insort(wsim._active, event, wsim._active_pos)
+            elif slot < cur + wsim._nslots:
+                cell = wsim._ring[slot % wsim._nslots]
+                if not cell:
+                    heappush(wsim._slot_heap, slot)
+                cell.append(event)
+                wsim._ring_count += 1
+            else:
+                heappush(wsim._overflow, event)
+        if self.busy or not self.link_up:
+            return
+        # _try_send, inlined (one completion per packet-hop).
+        queues = self.queues
+        paused = self._pauseset
+        rr_last = self._rr_last
+        pick = -1
+        first = -1
+        for q in self._qids:
+            if not queues[q] or q in paused:
+                continue
+            if q > rr_last:
+                pick = q
+                break
+            if first < 0:
+                first = q
+        if pick < 0:
+            if first < 0:
+                return
+            pick = first
+        head = queues[pick].popleft()
+        self.queued_bytes[pick] -= head.size
+        self._rr_last = pick
+        self.busy = True
+        self._tx_packet = head
+        if wsim is None:
+            self._schedule(head.size * 8.0 / self._bw, self._complete_cb)
+            return
+        time = wsim.now + head.size * 8.0 / self._bw
+        seq = wsim._seq
+        wsim._seq = seq + 1
+        event = (time, seq, self._complete_cb)
+        slot = int(time / wsim._res)
+        cur = wsim._cur_slot
+        if slot <= cur:
+            insort(wsim._active, event, wsim._active_pos)
+        elif slot < cur + wsim._nslots:
+            cell = wsim._ring[slot % wsim._nslots]
+            if not cell:
+                heappush(wsim._slot_heap, slot)
+            cell.append(event)
+            wsim._ring_count += 1
+        else:
+            heappush(wsim._overflow, event)
+
+    def _deliver_next(self) -> None:
+        recv = self._recv_fn
+        if recv is not None:
+            recv(self._wire.popleft(), self._recv_port)
+        else:
+            self._deliver(self._wire.popleft())

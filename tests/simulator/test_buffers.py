@@ -84,3 +84,103 @@ class TestIntrospection:
         paused = accounting.paused_accounts()
         assert list(paused) == [(0, 1)]
         assert paused[(0, 1)] == 12_000
+
+
+class TestVectorAccountingDifferential:
+    """VectorAccounting must be decision-identical to the reference.
+
+    A seeded random charge/release stream is replayed against both
+    implementations and every decision, occupancy and pause flag is
+    compared step by step — in static and in dynamic-threshold mode.
+    """
+
+    def _dynamic_config(self):
+        return SimConfig(
+            dynamic_thresholds=True,
+            dt_alpha=1.0,
+            shared_buffer_bytes=100_000,
+            dt_xon_offset_bytes=10_000,
+            dt_floor_bytes=5_000,
+            xoff_bytes=40_000,
+            xon_bytes=30_000,
+            headroom_bytes=20_000,
+            lossy_cap_bytes=8_000,
+        )
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_stream_identical(self, config, mode, seed):
+        import random
+
+        from repro.simulator.buffers import VectorAccounting
+
+        cfg = config if mode == "static" else self._dynamic_config()
+        ref = IngressAccounting(cfg)
+        fast = VectorAccounting(cfg)
+        rng = random.Random(seed)
+        # Track per-account occupancy so releases never underflow.
+        held = {}
+        for step in range(2_000):
+            port = rng.randrange(0, 4)
+            queue = rng.randrange(0, 3)
+            key = (port, queue)
+            if rng.random() < 0.55 or not held.get(key):
+                size = rng.randrange(1, 4_000)
+                a = ref.charge(port, queue, size)
+                b = fast.charge(port, queue, size)
+                if a.accepted:
+                    held[key] = held.get(key, 0) + size
+            else:
+                size = rng.randrange(1, held[key] + 1)
+                a = ref.release(port, queue, size)
+                b = fast.release(port, queue, size)
+                held[key] -= size
+            assert (a.accepted, a.send_pause, a.send_resume) == (
+                b.accepted,
+                b.send_pause,
+                b.send_resume,
+            ), f"step {step}: {mode} seed {seed} diverged on {key}"
+            assert ref.occupancy_of(port, queue) == fast.occupancy_of(
+                port, queue
+            )
+            assert ref.lossless_total == fast.lossless_total
+        assert ref.total_bytes == fast.total_bytes
+        assert ref.paused_accounts() == fast.paused_accounts()
+
+    def test_underflow_message_matches_reference(self, config):
+        from repro.simulator.buffers import VectorAccounting
+
+        ref = IngressAccounting(config)
+        fast = VectorAccounting(config)
+        ref.charge(2, 1, 100)
+        fast.charge(2, 1, 100)
+        with pytest.raises(AssertionError) as exc_ref:
+            ref.release(2, 1, 200)
+        with pytest.raises(AssertionError) as exc_fast:
+            fast.release(2, 1, 200)
+        assert str(exc_ref.value) == str(exc_fast.value)
+
+    def test_grows_past_initial_stride(self, config):
+        from repro.simulator.buffers import VectorAccounting
+
+        fast = VectorAccounting(config, stride=4)
+        result = fast.charge(40, 1, 1_000)  # far beyond the initial arena
+        assert result.accepted
+        assert fast.occupancy_of(40, 1) == 1_000
+        assert fast.occupancy_of(39, 1) == 0
+
+    def test_vectorized_views(self, config):
+        from repro.simulator.buffers import VectorAccounting, _np
+
+        fast = VectorAccounting(config)
+        fast.charge(0, 1, 9_000)
+        fast.charge(2, 2, 3_000)
+        fast.charge(1, 0, 500)
+        assert fast.accounts_over(3_000) == [(0, 1), (2, 2)]
+        assert fast.accounts_over(100_000) == []
+        if _np is not None:
+            matrix = fast.occupancy_matrix()
+            assert matrix.shape[1] == fast._stride
+            assert int(matrix[0, 1]) == 9_000
+            assert int(matrix[2, 2]) == 3_000
+            assert int(matrix.sum()) == fast.total_bytes

@@ -1,0 +1,323 @@
+"""Differential trace-equivalence: wheel engine vs the frozen reference.
+
+The headline guarantee of the raw-speed overhaul: the overhauled stack
+(``WheelSimulator`` + ``FastSimSwitch``/``FastTxPort`` +
+``VectorAccounting``) produces **byte-identical** event traces, PFC
+frame logs and final metrics to the reference heap stack — across the
+paper's deadlock reproductions (Fig. 10/11/12), detection and watchdog
+runs, and Hypothesis-generated Clos/Jellyfish/BCube fabrics.
+
+Each named scenario also has a golden fingerprint under
+``tests/golden/sim-equivalence.json`` pinning the (shared) behavior
+itself, so a change that alters *both* engines in lockstep still shows
+up in review. Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/simulator/test_engine_equivalence.py --update-golden
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaggerPlan
+from repro.fuzz.scenarios import ScenarioGenerator
+from repro.routing import install_loop, shortest_path_tables
+from repro.simulator import (
+    DeadlockDetector,
+    Flow,
+    PacketTracer,
+    PfcWatchdog,
+    SimNetwork,
+    make_simulator,
+    pin_path,
+)
+from repro.topology import testbed_clos
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "sim-equivalence.json"
+
+GREEN = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H2")
+BLUE = ("H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13")
+BOUNCE_1 = ("H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1")
+BOUNCE_2 = ("H5", "T2", "L1", "S1", "L3", "S2", "L4", "T4", "H15")
+
+#: Trace ring large enough that no scenario here evicts (eviction would
+#: still be identical on both engines, but full traces give the digest
+#: maximal coverage).
+TRACE_CAPACITY = 400_000
+
+
+def _canonical_lines(net, tracer):
+    """The byte streams the equivalence claim is made over."""
+    trace = [
+        f"{e.time!r}|{e.kind}|{e.node}|{e.flow_id}|{e.packet_id}"
+        f"|{e.tag}|{e.detail}"
+        for e in tracer.events
+    ]
+    pfc = [
+        f"{e.time!r}|{e.sender}|{e.receiver}|{e.queue}|{int(e.pause)}"
+        for e in net.metrics.pfc.events
+    ]
+    return trace, pfc
+
+
+def _sha(lines):
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def fingerprint(net, tracer, extra=None):
+    trace, pfc = _canonical_lines(net, tracer)
+    out = {
+        "trace_events": len(trace),
+        "trace_sha256": _sha(trace),
+        "pfc_frames": len(pfc),
+        "pfc_sha256": _sha(pfc),
+        "pauses": net.metrics.pfc.pause_count,
+        "resumes": net.metrics.pfc.resume_count,
+        "drops": dict(sorted(net.metrics.drops.items())),
+        "conservation": net.conservation_check(),
+        "events_run": net.sim.total_events_run,
+        "now": net.sim.now,
+    }
+    if extra:
+        out["extra"] = extra
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Named scenarios (each returns a run fabric + tracer + extra facts)
+# ---------------------------------------------------------------------------
+
+
+def _deadlock_net(engine):
+    """The Fig. 10 bounce-deadlock trigger on the paper's testbed."""
+    topo = testbed_clos()
+    net = SimNetwork(topo, shortest_path_tables(topo), engine=engine)
+    net.add_flow(
+        Flow(src="H1", dst="H13", pinned_next_hops=pin_path(BLUE), flow_id=7101)
+    )
+    net.add_flow(
+        Flow(
+            src="H9",
+            dst="H2",
+            start=0.01,
+            pinned_next_hops=pin_path(GREEN),
+            flow_id=7102,
+        )
+    )
+    net.at(0.05, lambda: net.set_receiver_rate("H2", 5e7))
+    net.at(0.08, lambda: net.set_receiver_rate("H2", None))
+    return net
+
+
+def scenario_fig10_bounce_deadlock(engine):
+    net = _deadlock_net(engine)
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.2)
+    from repro.simulator import find_deadlock_cycle
+
+    cycle = find_deadlock_cycle(net)
+    return net, tracer, {"deadlocked": cycle is not None}
+
+
+def scenario_fig11_routing_loop(engine):
+    topo = testbed_clos()
+    net = SimNetwork(topo, shortest_path_tables(topo), engine=engine)
+    net.add_flow(Flow(src="H1", dst="H5", flow_id=7111))
+    net.add_flow(
+        Flow(
+            src="H2",
+            dst="H6",
+            pinned_next_hops=pin_path(("H2", "T1", "L1", "T2", "H6")),
+            flow_id=7112,
+        )
+    )
+    net.at(0.02, lambda: install_loop(net.table, "H5", "T1", "L1"))
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.2)
+    from repro.simulator import find_deadlock_cycle
+
+    cycle = find_deadlock_cycle(net)
+    return net, tracer, {"deadlocked": cycle is not None}
+
+
+def scenario_fig12_pause_propagation(engine):
+    topo = testbed_clos()
+    net = SimNetwork(topo, shortest_path_tables(topo), engine=engine)
+    next_id = iter(range(7120, 7128))
+    net.add_flow(
+        Flow(src="H9", dst="H1", pinned_next_hops=pin_path(BOUNCE_1),
+             flow_id=next(next_id))
+    )
+    net.add_flow(
+        Flow(src="H5", dst="H15", pinned_next_hops=pin_path(BOUNCE_2),
+             flow_id=next(next_id))
+    )
+    incast_paths = {
+        "H11": ("H11", "T3", "L4", "S2", "L1", "T1", "H1"),
+        "H13": ("H13", "T4", "L4", "S2", "L1", "T1", "H1"),
+        "H14": ("H14", "T4", "L3", "S2", "L1", "T1", "H1"),
+    }
+    for src, path in incast_paths.items():
+        net.add_flow(
+            Flow(src=src, dst="H1", pinned_next_hops=pin_path(path),
+                 flow_id=next(next_id))
+        )
+    for dst in ("H2", "H12", "H16"):
+        net.add_flow(Flow(src="H5", dst=dst, flow_id=next(next_id)))
+    net.at(0.05, lambda: net.set_receiver_rate("H1", 2e7))
+    net.at(0.1, lambda: net.set_receiver_rate("H1", None))
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.25)
+    return net, tracer, {}
+
+
+def scenario_detect_on(engine):
+    """Fig. 10 trigger with the runtime DCFIT-style detector installed.
+
+    A third, unpinned background flow rides along so the traced workload
+    is distinct from the plain Fig. 10 scenario (the detector itself is
+    a pure observer and leaves the packet trace untouched).
+    """
+    net = _deadlock_net(engine)
+    net.add_flow(Flow(src="H3", dst="H11", flow_id=7103))
+    detector = DeadlockDetector(net)
+    detector.install()
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.25)
+    return net, tracer, {
+        "triggers": detector.triggers_originated,
+        "suspects": detector.suspects_raised,
+        "confirms": detector.confirms,
+    }
+
+
+def scenario_watchdog_demotion(engine):
+    """Fig. 10 trigger with the PFC watchdog baseline breaking the storm."""
+    net = _deadlock_net(engine)
+    watchdog = PfcWatchdog(net, detection_time=0.02, poll=0.005)
+    watchdog.install()
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.25)
+    return net, tracer, {
+        "storms": watchdog.storms,
+        "dropped": watchdog.total_dropped,
+    }
+
+
+def scenario_tagged_incast(engine):
+    """A tagged testbed under incast — Tagger pipeline + ECN exercised."""
+    topo = testbed_clos()
+    plan = TaggerPlan.for_clos(topo, max_bounces=1)
+    net = SimNetwork.with_plan(
+        topo, shortest_path_tables(topo), plan, engine=engine
+    )
+    for i, src in enumerate(("H5", "H9", "H13", "H15")):
+        net.add_flow(Flow(src=src, dst="H1", flow_id=7130 + i))
+    net.at(0.03, lambda: net.set_receiver_rate("H1", 1e8))
+    net.at(0.09, lambda: net.set_receiver_rate("H1", None))
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.15)
+    return net, tracer, {}
+
+
+SCENARIOS = {
+    "fig10-bounce-deadlock": scenario_fig10_bounce_deadlock,
+    "fig11-routing-loop": scenario_fig11_routing_loop,
+    "fig12-pause-propagation": scenario_fig12_pause_propagation,
+    "detect-on": scenario_detect_on,
+    "watchdog-demotion": scenario_watchdog_demotion,
+    "tagged-incast": scenario_tagged_incast,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_wheel_is_byte_identical_to_reference(name, request):
+    build = SCENARIOS[name]
+    net_ref, tracer_ref, extra_ref = build("heap")
+    net_fast, tracer_fast, extra_fast = build("wheel")
+
+    trace_ref, pfc_ref = _canonical_lines(net_ref, tracer_ref)
+    trace_fast, pfc_fast = _canonical_lines(net_fast, tracer_fast)
+    assert trace_fast == trace_ref
+    assert pfc_fast == pfc_ref
+    assert extra_fast == extra_ref
+
+    fp_ref = fingerprint(net_ref, tracer_ref, extra_ref)
+    fp_fast = fingerprint(net_fast, tracer_fast, extra_fast)
+    assert fp_fast == fp_ref
+
+    # Pin the shared behavior against the golden fingerprint.
+    update = request.config.getoption("--update-golden")
+    golden = (
+        json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+    )
+    if update:
+        golden[name] = fp_ref
+        GOLDEN_PATH.write_text(
+            json.dumps(golden, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"golden fingerprint for {name!r} rewritten")
+    assert name in golden, (
+        f"no golden fingerprint for {name!r}; run with --update-golden"
+    )
+    assert fp_ref == golden[name]
+
+
+def test_scenarios_exercise_distinct_behavior():
+    """The six scenarios are not six copies of one workload."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(golden) == set(SCENARIOS)
+    shas = {entry["trace_sha256"] for entry in golden.values()}
+    assert len(shas) == len(SCENARIOS)
+    # At least one deadlocking and one deadlock-free scenario.
+    assert golden["fig10-bounce-deadlock"]["extra"]["deadlocked"]
+    assert golden["watchdog-demotion"]["extra"]["storms"] >= 1
+    assert golden["detect-on"]["extra"]["confirms"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property: byte identity over generated fabrics
+# ---------------------------------------------------------------------------
+
+
+def _run_generated(scenario, engine):
+    """Drive a fuzz-generated topology with a deterministic flow set."""
+    topo = scenario.build_topology()
+    hosts = sorted(topo.hosts)
+    assume(len(hosts) >= 2)
+    net = SimNetwork(topo, shortest_path_tables(topo), engine=engine)
+    flows = [
+        (hosts[0], hosts[-1]),
+        (hosts[-1], hosts[0]),
+        (hosts[len(hosts) // 2], hosts[0]),
+    ]
+    for i, (src, dst) in enumerate(flows):
+        if src != dst:
+            net.add_flow(Flow(src=src, dst=dst, flow_id=9000 + i))
+    net.at(0.004, lambda: net.set_receiver_rate(hosts[0], 2e7))
+    net.at(0.008, lambda: net.set_receiver_rate(hosts[0], None))
+    tracer = PacketTracer(capacity=TRACE_CAPACITY).attach(net)
+    net.run(0.02)
+    return net, tracer
+
+
+@settings(
+    max_examples=min(settings().max_examples, 15),
+    deadline=None,
+)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_generated_fabrics_byte_identical(seed):
+    """Wheel-vs-heap identity on seeded Clos/Jellyfish/BCube scenarios."""
+    scenario = next(ScenarioGenerator(seed))
+    net_ref, tracer_ref = _run_generated(scenario, "heap")
+    net_fast, tracer_fast = _run_generated(scenario, "wheel")
+    assert _canonical_lines(net_fast, tracer_fast) == _canonical_lines(
+        net_ref, tracer_ref
+    )
+    assert fingerprint(net_fast, tracer_fast) == fingerprint(
+        net_ref, tracer_ref
+    )
